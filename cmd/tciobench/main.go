@@ -1,0 +1,154 @@
+// Command tciobench regenerates the paper's synthetic-benchmark artifacts:
+// Tables I-III and Figures 5-7.
+//
+// Usage:
+//
+//	tciobench -fig5              # write+read throughput vs process count
+//	tciobench -fig6 -fig7        # throughput vs file size (incl. OOM point)
+//	tciobench -tables            # Tables I, II, III
+//	tciobench -all               # everything
+//	tciobench -procs 64,128 -len-sim 1048576 -len-real 4096   # custom sweep
+//
+// Simulated datasets follow the paper (LENarray=4M elements, files up to
+// 48 GB); -len-real controls how many elements are actually materialized
+// per array (the byte-scale mechanism described in DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/tcio/tcio/internal/bench"
+	"github.com/tcio/tcio/internal/stats"
+)
+
+func main() {
+	var (
+		fig5      = flag.Bool("fig5", false, "regenerate Figure 5 (throughput vs processes)")
+		fig6      = flag.Bool("fig6", false, "regenerate Figure 6 (write throughput vs file size)")
+		fig7      = flag.Bool("fig7", false, "regenerate Figure 7 (read throughput vs file size)")
+		tables    = flag.Bool("tables", false, "print Tables I, II and III")
+		ablations = flag.Bool("ablations", false, "run the TCIO design-choice ablations")
+		all       = flag.Bool("all", false, "run everything")
+		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
+		lenSim    = flag.Int("len-sim", 4<<20, "simulated LENarray (elements per array per process)")
+		lenReal   = flag.Int("len-real", 4<<10, "materialized elements per array per process")
+		verify    = flag.Bool("verify", true, "verify every byte on read-back")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*all {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*fig5 || *all, *fig6 || *all, *fig7 || *all, *tables || *all,
+		*ablations || *all, *procs, *lenSim, *lenReal, *verify, *csv, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "tciobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig5, fig6, fig7, tables, ablations bool, procsSpec string, lenSim, lenReal int, verify, csv, quiet bool) error {
+	emit := func(t stats.Table) error {
+		if csv {
+			fmt.Printf("# %s\n", t.Title)
+			return t.CSV(os.Stdout)
+		}
+		return t.Render(os.Stdout)
+	}
+	progress := func(line string) {
+		if !quiet {
+			fmt.Fprintln(os.Stderr, "  ", line)
+		}
+	}
+
+	opts := bench.DefaultSweep()
+	opts.LenSim = lenSim
+	opts.LenReal = lenReal
+	opts.Verify = verify
+	opts.Progress = progress
+	var err error
+	if opts.Procs, err = parseProcs(procsSpec); err != nil {
+		return err
+	}
+
+	if tables {
+		if err := emit(bench.Table1()); err != nil {
+			return err
+		}
+		if err := emit(bench.Table2(opts)); err != nil {
+			return err
+		}
+		if err := emit(bench.Table3()); err != nil {
+			return err
+		}
+		loc2, loc3 := bench.ProgramLines()
+		r2, r3 := bench.ProgramReadLines()
+		fmt.Printf("programming effort: OCIO write=%d read=%d lines; TCIO write=%d read=%d lines\n\n",
+			loc2, r2, loc3, r3)
+	}
+
+	if fig5 {
+		w, r, _, err := bench.Fig5(opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(w); err != nil {
+			return err
+		}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+
+	if fig6 || fig7 {
+		fopts := bench.DefaultFileSizeSweep()
+		fopts.LenReal = lenReal
+		fopts.Verify = verify
+		fopts.Progress = progress
+		w, r, _, err := bench.Fig6And7(fopts)
+		if err != nil {
+			return err
+		}
+		if fig6 {
+			if err := emit(w); err != nil {
+				return err
+			}
+		}
+		if fig7 {
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+	}
+
+	if ablations {
+		aopts := bench.DefaultAblation()
+		aopts.LenReal = lenReal
+		aopts.Progress = progress
+		t, err := bench.Ablations(aopts)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseProcs(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad process count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

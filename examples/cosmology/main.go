@@ -1,0 +1,79 @@
+// Cosmology: checkpoint and restart of the ART mini-app (paper §V.C).
+//
+// ART's fully threaded trees (FTTs) have data-dependent shapes: each record
+// is a different collection of variable-size arrays, which no single MPI
+// derived datatype can describe — so OCIO's file views cannot help, and the
+// realistic comparison is TCIO versus vanilla MPI-IO. The example dumps a
+// checkpoint of refinement trees through both stacks, restarts from it,
+// verifies every tree round-trips exactly, and reports throughput.
+//
+//	go run ./examples/cosmology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/tcio/tcio/internal/art"
+	"github.com/tcio/tcio/internal/bench"
+	"github.com/tcio/tcio/internal/mpi"
+)
+
+func main() {
+	const (
+		procs = 16
+		trees = 64
+		vars  = 2
+		seed  = 7
+	)
+
+	for _, lib := range []art.Library{art.LibTCIO, art.LibVanilla} {
+		env, err := bench.NewEnv(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := fmt.Sprintf("art-%v.ckpt", lib)
+
+		var cells, bytes int64
+		rep, err := mpi.Run(mpi.Config{Procs: procs, Machine: env.Machine, FS: env.FS}, func(c *mpi.Comm) error {
+			// Build this rank's round-robin share of the AMR forest.
+			mine := art.GenerateForRank(trees, vars, c.Size(), c.Rank(), seed)
+			for _, t := range mine {
+				cellsLocal := int64(t.NumCells())
+				_ = cellsLocal
+			}
+			if err := art.Dump(c, lib, name, mine, trees, 0); err != nil {
+				return err
+			}
+			// Simulate a restart: read the checkpoint back and compare.
+			restored, err := art.Restore(c, lib, name)
+			if err != nil {
+				return err
+			}
+			if len(restored) != len(mine) {
+				return fmt.Errorf("restored %d trees, want %d", len(restored), len(mine))
+			}
+			for i := range mine {
+				if !mine[i].Equal(restored[i]) {
+					return fmt.Errorf("tree %d corrupted across dump/restart", mine[i].ID)
+				}
+			}
+			if c.Rank() == 0 {
+				for _, t := range restored {
+					cells += int64(t.NumCells())
+				}
+				bytes = c.FS().Open(name).Size()
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7v checkpoint: %6.1f KB on disk, dump+restart in %v simulated\n",
+			lib, float64(bytes)/1024, rep.MaxTime)
+		if lib == art.LibTCIO {
+			fmt.Printf("        (rank 0's trees hold %d cells across dynamic octrees)\n", cells)
+		}
+	}
+	fmt.Println("\nboth stacks round-tripped every tree byte-exactly")
+}

@@ -1,0 +1,65 @@
+// Interleaved: the paper's Figure 2 workload, written three ways.
+//
+// Each of P processes holds two in-memory arrays (int and double) and must
+// place them in a shared file interleaved round-robin. The example runs the
+// same workload through:
+//
+//   - TCIO (Program 3): plain per-piece writes, aggregation is transparent;
+//   - OCIO (Program 2): combine buffer + derived datatypes + file view +
+//     one collective call;
+//   - vanilla MPI-IO: per-piece independent writes, no optimization;
+//
+// verifies the three files are byte-identical, and reports each method's
+// simulated I/O time — a miniature of the paper's Figure 5 experiment.
+//
+//	go run ./examples/interleaved
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/tcio/tcio/internal/bench"
+	"github.com/tcio/tcio/internal/datatype"
+)
+
+func main() {
+	const procs = 16
+	var reference []byte
+
+	for _, method := range []bench.Method{bench.MethodTCIO, bench.MethodOCIO, bench.MethodVanilla} {
+		env, err := bench.NewEnv(256) // 1 real byte stands for 256 simulated
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := bench.SyntheticConfig{
+			Method:     method,
+			Procs:      procs,
+			TypeArray:  []datatype.Type{datatype.Int, datatype.Double},
+			LenArray:   2048,
+			SizeAccess: 1,
+			Verify:     true,
+			FileName:   "interleaved.dat",
+		}
+		res, err := bench.RunSynthetic(env, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Write.Failed || res.Read.Failed {
+			log.Fatalf("%v failed: %s %s", method, res.Write.FailReason, res.Read.FailReason)
+		}
+		snap := env.FS.Open("interleaved.dat").Snapshot()
+		if reference == nil {
+			reference = snap
+		} else if !bytes.Equal(reference, snap) {
+			log.Fatalf("%v produced different file contents", method)
+		}
+		fmt.Printf("%-7v write %8.1f MB/s (%v)   read %8.1f MB/s (%v)\n",
+			method, res.Write.MBs, res.Write.Time, res.Read.MBs, res.Read.Time)
+	}
+	fmt.Printf("\nall three methods produced identical %d-byte files\n", len(reference))
+
+	loc2, loc3 := bench.ProgramLines()
+	fmt.Printf("programming effort: OCIO needs %d lines, TCIO needs %d\n", loc2, loc3)
+}

@@ -1,0 +1,151 @@
+// Volume3D: the paper's motivating workload (§I, Fig. 1).
+//
+// A 3D computing volume is decomposed into sub-cubes, one per process (the
+// S3D/Pixie3D pattern the introduction cites), and checkpointed to a single
+// shared file in x,y,z order. Each process therefore owns many small
+// non-contiguous runs of the file, interleaved with every other process —
+// exactly the pattern collective I/O exists for.
+//
+// The example writes the volume twice:
+//
+//   - with OCIO: an MPI_Type_create_subarray file view plus one collective
+//     write — the classic MPI-IO recipe;
+//   - with TCIO: a plain loop writing each contiguous row of the sub-cube
+//     at its file offset — no datatypes, no view;
+//
+// verifies both files byte-identical against a serially assembled
+// reference, and reports simulated I/O time.
+//
+//	go run ./examples/volume3d
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/tcio/tcio/internal/cluster"
+	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/mpiio"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/tcio"
+)
+
+const (
+	N     = 32 // global volume: N^3 cells
+	PX    = 2  // process grid: PX*PY*PZ ranks
+	PY    = 2
+	PZ    = 2
+	cell  = 8 // bytes per cell (one double)
+	procs = PX * PY * PZ
+)
+
+// cellValue is the deterministic value of global cell (x,y,z).
+func cellValue(x, y, z int) byte { return byte(x*7 + y*13 + z*29 + 1) }
+
+// fill materializes a rank's sub-cube in row-major (x-major) order.
+func fill(rx, ry, rz int) []byte {
+	sx, sy, sz := N/PX, N/PY, N/PZ
+	buf := make([]byte, sx*sy*sz*cell)
+	i := 0
+	for x := 0; x < sx; x++ {
+		for y := 0; y < sy; y++ {
+			for z := 0; z < sz; z++ {
+				v := cellValue(rx*sx+x, ry*sy+y, rz*sz+z)
+				for b := 0; b < cell; b++ {
+					buf[i] = v
+					i++
+				}
+			}
+		}
+	}
+	return buf
+}
+
+func main() {
+	// Serial reference: the whole volume in x,y,z order.
+	reference := make([]byte, N*N*N*cell)
+	for x := 0; x < N; x++ {
+		for y := 0; y < N; y++ {
+			for z := 0; z < N; z++ {
+				v := cellValue(x, y, z)
+				off := ((x*N+y)*N + z) * cell
+				for b := 0; b < cell; b++ {
+					reference[off+b] = v
+				}
+			}
+		}
+	}
+
+	// One shared file system for both runs, so the files can be compared.
+	fs := pfs.New(pfs.DefaultConfig())
+
+	for _, method := range []string{"OCIO", "TCIO"} {
+		fs.Reset()
+		name := fmt.Sprintf("volume-%s.dat", method)
+		rep, err := mpi.Run(mpi.Config{Procs: procs, Machine: cluster.Lonestar(), FS: fs},
+			func(c *mpi.Comm) error {
+				rz := c.Rank() % PZ
+				ry := (c.Rank() / PZ) % PY
+				rx := c.Rank() / (PZ * PY)
+				mine := fill(rx, ry, rz)
+				sx, sy, sz := N/PX, N/PY, N/PZ
+
+				switch method {
+				case "OCIO":
+					f := mpiio.Open(c, name)
+					// One subarray datatype describes this rank's cube
+					// within the global volume.
+					ft, err := datatype.Subarray(
+						[]int{N, N, N},
+						[]int{sx, sy, sz},
+						[]int{rx * sx, ry * sy, rz * sz},
+						datatype.Double)
+					if err != nil {
+						return err
+					}
+					if err := f.SetView(0, datatype.Double, ft); err != nil {
+						return err
+					}
+					if err := f.WriteAll(mine); err != nil {
+						return err
+					}
+					return f.Close()
+
+				default: // TCIO
+					f, err := tcio.Open(c, name, tcio.WriteMode, tcio.Config{
+						SegmentSize: 16 << 10,
+						NumSegments: (N*N*N*cell)/(procs*(16<<10)) + 1,
+					})
+					if err != nil {
+						return err
+					}
+					// Plain loop: each contiguous z-row of the cube goes
+					// to its file offset. No datatypes, no view.
+					row := sz * cell
+					for x := 0; x < sx; x++ {
+						for y := 0; y < sy; y++ {
+							gx, gy, gz := rx*sx+x, ry*sy+y, rz*sz
+							off := int64(((gx*N+gy)*N + gz) * cell)
+							src := ((x*sy + y) * sz) * cell
+							if err := f.WriteAt(off, mine[src:src+row]); err != nil {
+								return err
+							}
+						}
+					}
+					return f.Close()
+				}
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap := fs.Open(name).Snapshot()
+		if !bytes.Equal(snap, reference) {
+			log.Fatalf("%s produced a wrong volume image", method)
+		}
+		fmt.Printf("%-5s wrote and verified the %dx%dx%d volume (%d KB) in %v simulated\n",
+			method, N, N, N, len(reference)/1024, rep.MaxTime)
+	}
+	fmt.Println("\nboth methods produced the byte-identical x,y,z-ordered volume file")
+}

@@ -1,0 +1,3 @@
+module github.com/tcio/tcio
+
+go 1.22

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationsRunAllVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	opts := AblationOptions{Procs: 8, LenSim: 64 << 10, LenReal: 512}
+	table, err := Ablations(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != len(ablationVariants()) {
+		t.Fatalf("%d rows, want %d", len(table.Rows), len(ablationVariants()))
+	}
+	for _, row := range table.Rows {
+		if strings.Contains(strings.Join(row, " "), "FAIL") {
+			t.Fatalf("ablation variant failed: %v", row)
+		}
+	}
+	// Row 0 is the baseline; all variants must be present by name.
+	if table.Rows[0][0] != "baseline" {
+		t.Fatalf("first row = %v", table.Rows[0])
+	}
+}
+
+func TestAggregatorSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run sweep")
+	}
+	opts := AblationOptions{Procs: 8, LenSim: 64 << 10, LenReal: 512}
+	table, err := AggregatorSweep(opts, []int{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("%d rows", len(table.Rows))
+	}
+	if !strings.Contains(table.Rows[0][0], "all ranks") {
+		t.Fatalf("row 0 not labelled as the paper setting: %v", table.Rows[0])
+	}
+	for _, row := range table.Rows {
+		if strings.Contains(strings.Join(row, " "), "FAIL") {
+			t.Fatalf("aggregator variant failed: %v", row)
+		}
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	s := DefaultSweep()
+	if s.LenSim != 4<<20 || s.SizeAccess != 1 || len(s.Types) != 2 {
+		t.Fatalf("DefaultSweep = %+v", s)
+	}
+	fsw := DefaultFileSizeSweep()
+	if fsw.Procs != 64 || len(fsw.LenSims) != 4 {
+		t.Fatalf("DefaultFileSizeSweep = %+v", fsw)
+	}
+	a := DefaultART()
+	if a.Trees != 1024 || a.Seed != 5 {
+		t.Fatalf("DefaultART = %+v", a)
+	}
+	ab := DefaultAblation()
+	if ab.Procs != 64 {
+		t.Fatalf("DefaultAblation = %+v", ab)
+	}
+}
+
+func TestPhaseCellFormatting(t *testing.T) {
+	ok := PhaseResult{MBs: 123.45}
+	if got := phaseCell(ok); got != "123.5" {
+		t.Fatalf("phaseCell = %q", got)
+	}
+	bad := PhaseResult{Failed: true, FailReason: "out of memory"}
+	if got := phaseCell(bad); got != "FAIL (out of memory)" {
+		t.Fatalf("phaseCell = %q", got)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodOCIO.String() != "OCIO" || MethodTCIO.String() != "TCIO" || MethodVanilla.String() != "MPI-IO" {
+		t.Fatal("method strings wrong")
+	}
+	if Method(9).String() != "Method(9)" {
+		t.Fatal("unknown method string wrong")
+	}
+}
+
+func TestCountRegionSkipsExtensions(t *testing.T) {
+	src := `
+// BEGIN X
+a
+// BEGIN EXTENSION (excluded)
+b
+c
+// END EXTENSION
+d
+// END X
+e
+`
+	if got := countRegion(src, "X"); got != 2 {
+		t.Fatalf("countRegion = %d, want 2 (a and d)", got)
+	}
+}
+
+func TestOCIOAggregatorsProduceSameFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison")
+	}
+	var snaps [][]byte
+	for _, aggs := range []int{0, 2} {
+		env, err := NewEnv(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallSweepCfg(MethodOCIO, 8, "aggfile")
+		cfg.OCIOAggregators = aggs
+		res, err := RunSynthetic(env, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Write.Failed || res.Read.Failed {
+			t.Fatalf("aggs=%d failed: %+v", aggs, res)
+		}
+		snaps = append(snaps, env.FS.Open("aggfile").Snapshot())
+	}
+	if string(snaps[0]) != string(snaps[1]) {
+		t.Fatal("aggregator sub-selection changed file contents")
+	}
+}

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tcio/tcio/internal/datatype"
+)
+
+func smallSweepCfg(m Method, procs int, name string) SyntheticConfig {
+	return SyntheticConfig{
+		Method:     m,
+		Procs:      procs,
+		TypeArray:  []datatype.Type{datatype.Int, datatype.Double},
+		LenArray:   256,
+		SizeAccess: 1,
+		Verify:     true,
+		FileName:   name,
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	types, err := ParseTypes("i,d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 2 || types[0] != datatype.Int || types[1] != datatype.Double {
+		t.Fatalf("ParseTypes = %v", types)
+	}
+	if _, err := ParseTypes("i,x"); err == nil {
+		t.Fatal("bad type accepted")
+	}
+}
+
+func TestSyntheticConfigDerived(t *testing.T) {
+	cfg := smallSweepCfg(MethodTCIO, 4, "x")
+	if cfg.blockSize() != 12 {
+		t.Fatalf("blockSize = %d", cfg.blockSize())
+	}
+	if cfg.iters() != 256 {
+		t.Fatalf("iters = %d", cfg.iters())
+	}
+	if cfg.FileBytes() != 12*256*4 {
+		t.Fatalf("FileBytes = %d", cfg.FileBytes())
+	}
+}
+
+func TestSyntheticValidate(t *testing.T) {
+	bad := smallSweepCfg(MethodTCIO, 0, "x")
+	if err := bad.validate(); err == nil {
+		t.Fatal("0 procs accepted")
+	}
+	bad = smallSweepCfg(MethodTCIO, 2, "x")
+	bad.SizeAccess = 3 // does not divide LenArray=256
+	if err := bad.validate(); err == nil {
+		t.Fatal("non-dividing SizeAccess accepted")
+	}
+	bad = smallSweepCfg(MethodTCIO, 2, "")
+	if err := bad.validate(); err == nil {
+		t.Fatal("empty file name accepted")
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := NewEnv(3); err == nil {
+		t.Fatal("non-divisor scale accepted")
+	}
+	env, err := NewEnv(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.FS.Config().StripeSize != (1<<20)/256 {
+		t.Fatalf("stripe = %d", env.FS.Config().StripeSize)
+	}
+}
+
+// All three methods must produce identical file bytes and verified reads.
+func TestAllMethodsRoundTripAndAgree(t *testing.T) {
+	var snapshots [][]byte
+	for _, m := range []Method{MethodTCIO, MethodOCIO, MethodVanilla} {
+		env, err := NewEnv(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallSweepCfg(m, 4, "agree")
+		res, err := RunSynthetic(env, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Write.Failed {
+			t.Fatalf("%v write failed: %s", m, res.Write.FailReason)
+		}
+		if res.Read.Failed {
+			t.Fatalf("%v read failed: %s", m, res.Read.FailReason)
+		}
+		if res.Write.MBs <= 0 || res.Read.MBs <= 0 {
+			t.Fatalf("%v: non-positive throughput %v/%v", m, res.Write.MBs, res.Read.MBs)
+		}
+		snapshots = append(snapshots, env.FS.Open("agree").Snapshot())
+	}
+	for i := 1; i < len(snapshots); i++ {
+		if string(snapshots[i]) != string(snapshots[0]) {
+			t.Fatalf("method %d produced different file contents", i)
+		}
+	}
+}
+
+func TestVerificationCatchesCorruption(t *testing.T) {
+	env, err := NewEnv(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallSweepCfg(MethodVanilla, 2, "corrupt")
+	// Write correctly...
+	res := runPhase(env, cfg, true)
+	if res.Failed {
+		t.Fatalf("write failed: %s", res.FailReason)
+	}
+	// ...then corrupt a byte behind the library's back.
+	env.FS.Open("corrupt").WriteAt(0, 5, []byte{0xFF}, 0)
+	read := runPhase(env, cfg, false)
+	if !read.Failed {
+		t.Fatal("corrupted file passed verification")
+	}
+}
+
+func TestSizeAccessLargerThanOne(t *testing.T) {
+	env, err := NewEnv(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallSweepCfg(MethodTCIO, 2, "sa4")
+	cfg.SizeAccess = 4
+	res, err := RunSynthetic(env, cfg)
+	if err != nil || res.Write.Failed || res.Read.Failed {
+		t.Fatalf("SizeAccess=4 run: %v %+v", err, res)
+	}
+}
+
+func TestProgramLinesComparison(t *testing.T) {
+	loc2, loc3 := ProgramLines()
+	if loc2 == 0 || loc3 == 0 {
+		t.Fatalf("LoC = %d/%d; markers missing?", loc2, loc3)
+	}
+	// The paper's Table III: OCIO requires substantially more code.
+	if loc3 >= loc2 {
+		t.Fatalf("TCIO program (%d lines) not shorter than OCIO (%d lines)", loc3, loc2)
+	}
+	r2, r3 := ProgramReadLines()
+	if r3 >= r2 {
+		t.Fatalf("TCIO read program (%d) not shorter than OCIO (%d)", r3, r2)
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, tb := range []struct {
+		name string
+		rows int
+	}{
+		{"t1", len(Table1().Rows)},
+		{"t3", len(Table3().Rows)},
+		{"t4", len(Table4().Rows)},
+	} {
+		if tb.rows == 0 {
+			t.Fatalf("%s: empty table", tb.name)
+		}
+	}
+	t2 := Table2(DefaultSweep())
+	found := false
+	for _, row := range t2.Rows {
+		if row[0] == "SIZEaccess" && row[1] == "1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Table2 missing SIZEaccess=1")
+	}
+}
+
+func TestFig5SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	opts := SweepOptions{
+		Procs:      []int{4, 8},
+		LenSim:     64 << 10,
+		LenReal:    256,
+		SizeAccess: 1,
+		Types:      []datatype.Type{datatype.Int, datatype.Double},
+		Verify:     true,
+	}
+	write, read, results, err := Fig5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(write.Rows) != 2 || len(read.Rows) != 2 {
+		t.Fatalf("rows: %d/%d", len(write.Rows), len(read.Rows))
+	}
+	if len(results) != 4 {
+		t.Fatalf("results: %d", len(results))
+	}
+	for _, r := range results {
+		if r.Write.Failed || r.Read.Failed {
+			t.Fatalf("point failed: %+v", r)
+		}
+	}
+}
+
+func TestFig6OOMReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	// Miniature of the paper's Fig. 6 48 GB point: per-rank simulated data
+	// that OCIO's double buffering cannot fit but TCIO can.
+	opts := FileSizeSweepOptions{
+		Procs:      12, // one full node: 2 GiB per rank
+		LenSims:    []int{64 << 20},
+		LenReal:    1 << 10,
+		SizeAccess: 1,
+		Types:      []datatype.Type{datatype.Int, datatype.Double},
+		Verify:     true,
+	}
+	write, _, results, err := Fig6And7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tcioOK, ocioFailed bool
+	for _, r := range results {
+		switch r.Write.Method {
+		case MethodTCIO:
+			tcioOK = !r.Write.Failed
+		case MethodOCIO:
+			ocioFailed = r.Write.Failed && r.Write.FailReason == "out of memory"
+		}
+	}
+	if !tcioOK {
+		t.Fatalf("TCIO failed the large-dataset point: %v", write.Rows)
+	}
+	if !ocioFailed {
+		t.Fatalf("OCIO did not fail with OOM at the large-dataset point: %v", write.Rows)
+	}
+	// The rendered table must show the failure, as the paper's text does.
+	joined := strings.Join(write.Rows[0], " ")
+	if !strings.Contains(joined, "FAIL") {
+		t.Fatalf("table does not show the failure: %q", joined)
+	}
+}
+
+func TestARTSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point sweep")
+	}
+	opts := ARTOptions{
+		Procs:      []int{4},
+		Trees:      16,
+		Vars:       2,
+		MuCells:    128,
+		SigmaCells: 16,
+		Seed:       5,
+		Scale:      32,
+	}
+	write, read, results, err := Fig9And10(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(write.Rows) != 1 || len(read.Rows) != 1 {
+		t.Fatal("missing rows")
+	}
+	var tcioW, vanW float64
+	for _, r := range results {
+		if r.Failed {
+			t.Fatalf("%v failed: %s", r.Library, r.FailReason)
+		}
+		if r.Library.String() == "TCIO" {
+			tcioW = r.WriteMBs
+		} else {
+			vanW = r.WriteMBs
+		}
+	}
+	if tcioW <= vanW {
+		t.Fatalf("TCIO (%.1f MB/s) not faster than vanilla MPI-IO (%.1f MB/s) on ART", tcioW, vanW)
+	}
+}

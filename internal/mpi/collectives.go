@@ -1,0 +1,270 @@
+package mpi
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// timeBarrier coordinates collective operations. All ranks arrive with a
+// value and their current clock; the last arrival combines the values; all
+// leave with the combined result and a clock advanced to the latest arrival
+// plus the collective's cost. Epochs recycle, so the barrier serves any
+// number of consecutive collectives (which, as in MPI, every rank must
+// invoke in the same order).
+type timeBarrier struct {
+	mu  sync.Mutex
+	n   int
+	cur *collEpoch
+}
+
+type collEpoch struct {
+	release chan struct{}
+	vals    []interface{}
+	maxT    simtime.Time
+	count   int
+	result  interface{}
+	final   simtime.Time
+}
+
+func newTimeBarrier(n int) *timeBarrier {
+	return &timeBarrier{n: n, cur: newCollEpoch(n)}
+}
+
+func newCollEpoch(n int) *collEpoch {
+	return &collEpoch{release: make(chan struct{}), vals: make([]interface{}, n)}
+}
+
+// collect runs one collective. combine (may be nil) is evaluated once, by
+// the last-arriving rank; cost is the collective's virtual-time duration
+// beyond the synchronization point.
+func (c *Comm) collect(val interface{}, combine func([]interface{}) interface{}, cost simtime.Duration) (interface{}, error) {
+	if err := c.abortedErr(); err != nil {
+		return nil, err
+	}
+	b := c.w.barrier
+	b.mu.Lock()
+	e := b.cur
+	e.vals[c.rank] = val
+	if now := c.clock().Now(); now > e.maxT {
+		e.maxT = now
+	}
+	e.count++
+	last := e.count == b.n
+	if last {
+		b.cur = newCollEpoch(b.n)
+	}
+	b.mu.Unlock()
+
+	if last {
+		if combine != nil {
+			e.result = combine(e.vals)
+		}
+		e.final = e.maxT.Add(cost)
+		close(e.release)
+	} else {
+		select {
+		case <-e.release:
+		case <-c.w.aborted:
+			return nil, ErrAborted
+		}
+	}
+	c.clock().AdvanceTo(e.final)
+	return e.result, nil
+}
+
+// treeCost models a binomial-tree collective: log2(P) rounds, each a short
+// message of msgBytes simulated bytes.
+func (c *Comm) treeCost(msgBytes int64) simtime.Duration {
+	p := c.w.nprocs
+	if p <= 1 {
+		return 0
+	}
+	rounds := bits.Len(uint(p - 1)) // ceil(log2 p)
+	per := c.w.machine.Net.Latency + c.w.machine.Net.SetupTwoSided +
+		simtime.BytesDuration(msgBytes, c.w.machine.Net.NICBandwidth)
+	return simtime.Duration(rounds) * per
+}
+
+// Barrier blocks until every rank reaches it; clocks leave synchronized.
+// TCIO's flush and close use this (tcio_flush "invokes MPI_Barrier").
+func (c *Comm) Barrier() error {
+	_, err := c.collect(nil, nil, c.treeCost(8))
+	return err
+}
+
+// ReduceOp names a reduction operator.
+type ReduceOp int
+
+// Supported reductions.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+// AllreduceInt64 combines one int64 per rank with op and returns the result
+// to all ranks. OCIO uses Min/Max to establish the aggregate file domain.
+func (c *Comm) AllreduceInt64(op ReduceOp, v int64) (int64, error) {
+	res, err := c.collect(v, func(vals []interface{}) interface{} {
+		acc := vals[0].(int64)
+		for _, raw := range vals[1:] {
+			x := raw.(int64)
+			switch op {
+			case OpSum:
+				acc += x
+			case OpMax:
+				if x > acc {
+					acc = x
+				}
+			case OpMin:
+				if x < acc {
+					acc = x
+				}
+			}
+		}
+		return acc
+	}, c.treeCost(8)*2) // reduce + broadcast
+	if err != nil {
+		return 0, err
+	}
+	return res.(int64), nil
+}
+
+// AllgatherInt64 gathers one int64 from every rank, in rank order.
+func (c *Comm) AllgatherInt64(v int64) ([]int64, error) {
+	res, err := c.collect(v, func(vals []interface{}) interface{} {
+		out := make([]int64, len(vals))
+		for i, raw := range vals {
+			out[i] = raw.(int64)
+		}
+		return out
+	}, c.allgatherCost(8))
+	if err != nil {
+		return nil, err
+	}
+	return res.([]int64), nil
+}
+
+// ExscanInt64 returns the exclusive prefix sum of v across ranks: rank r
+// receives the sum of values from ranks 0..r-1 (0 for rank 0). ART uses it
+// to place each rank's records in the shared file.
+func (c *Comm) ExscanInt64(v int64) (int64, error) {
+	all, err := c.AllgatherInt64(v)
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for r := 0; r < c.rank; r++ {
+		sum += all[r]
+	}
+	return sum, nil
+}
+
+// allgatherCost models a ring allgather of perRankBytes from each rank.
+func (c *Comm) allgatherCost(perRankBytes int64) simtime.Duration {
+	p := c.w.nprocs
+	if p <= 1 {
+		return 0
+	}
+	per := c.w.machine.Net.Latency + c.w.machine.Net.SetupTwoSided +
+		simtime.BytesDuration(c.w.machine.Scale(perRankBytes), c.w.machine.Net.NICBandwidth)
+	return simtime.Duration(p-1) * per
+}
+
+// Bcast distributes root's payload to every rank. Every rank passes its
+// local buf (ignored except at root) and receives the broadcast value.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if root < 0 || root >= c.w.nprocs {
+		return nil, fmt.Errorf("mpi: Bcast root %d of %d", root, c.w.nprocs)
+	}
+	var val interface{}
+	if c.rank == root {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		val = buf
+	}
+	res, err := c.collect(val, func(vals []interface{}) interface{} {
+		return vals[root]
+	}, c.treeCost(c.w.machine.Scale(int64(len(data)))))
+	if err != nil {
+		return nil, err
+	}
+	out, _ := res.([]byte)
+	return out, nil
+}
+
+// AllgatherBytes gathers each rank's (possibly differently sized) payload
+// in rank order.
+func (c *Comm) AllgatherBytes(data []byte) ([][]byte, error) {
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	res, err := c.collect(buf, func(vals []interface{}) interface{} {
+		out := make([][]byte, len(vals))
+		for i, raw := range vals {
+			out[i] = raw.([]byte)
+		}
+		return out
+	}, c.allgatherCost(int64(len(data))))
+	if err != nil {
+		return nil, err
+	}
+	return res.([][]byte), nil
+}
+
+// SharedOnce is a collective that returns the same value to every rank;
+// create is evaluated exactly once (by the last rank to arrive). I/O layers
+// use it to establish shared bookkeeping structures, much as MPI codes hang
+// shared state off a window or a communicator attribute.
+func (c *Comm) SharedOnce(create func() interface{}) (interface{}, error) {
+	return c.collect(nil, func([]interface{}) interface{} { return create() }, c.treeCost(16))
+}
+
+// internal tag space (user tags must be >= 0; -1 is AnyTag).
+const tagAlltoall = -2
+
+// Alltoallv sends send[i] to rank i and returns the payloads received from
+// every rank (recv[i] from rank i). It is implemented exactly as the paper
+// describes ROMIO's exchange phase: post all receives, then all sends, then
+// wait — the all-at-once burst whose congestion TCIO avoids.
+func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
+	return c.AlltoallvSized(send, nil)
+}
+
+// AlltoallvSized is Alltoallv with per-destination billed simulated sizes
+// (nil bills scaled payload lengths). The I/O layers use it to bill their
+// exchange messages as payload plus a compact descriptor rather than the
+// full in-memory encoding.
+func (c *Comm) AlltoallvSized(send [][]byte, simBytes []int64) ([][]byte, error) {
+	p := c.w.nprocs
+	if len(send) != p {
+		return nil, fmt.Errorf("mpi: Alltoallv with %d buffers for %d ranks", len(send), p)
+	}
+	if simBytes != nil && len(simBytes) != p {
+		return nil, fmt.Errorf("mpi: Alltoallv with %d sizes for %d ranks", len(simBytes), p)
+	}
+	recvReqs := make([]*Request, p)
+	for src := 0; src < p; src++ {
+		recvReqs[src] = c.Irecv(src, tagAlltoall)
+	}
+	for dst := 0; dst < p; dst++ {
+		billed := int64(-1)
+		if simBytes != nil {
+			billed = simBytes[dst]
+		}
+		if r := c.IsendSized(dst, tagAlltoall, send[dst], billed); r.err != nil {
+			return nil, r.err
+		}
+	}
+	out := make([][]byte, p)
+	for src := 0; src < p; src++ {
+		data, err := recvReqs[src].Wait()
+		if err != nil {
+			return nil, err
+		}
+		out[src] = data
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"fmt"
+)
+
+// This file completes the standard collective surface beyond what the I/O
+// stacks strictly need: gather/scatter, scans, and byte-payload reductions.
+// They follow the same timeBarrier mechanics as the core collectives: the
+// last-arriving rank combines, everyone leaves at the synchronized instant
+// plus the collective's modelled cost.
+
+// GatherInt64 collects one int64 from every rank at root, in rank order.
+// Non-root ranks receive nil.
+func (c *Comm) GatherInt64(root int, v int64) ([]int64, error) {
+	if root < 0 || root >= c.w.nprocs {
+		return nil, fmt.Errorf("mpi: Gather root %d of %d", root, c.w.nprocs)
+	}
+	res, err := c.collect(v, func(vals []interface{}) interface{} {
+		out := make([]int64, len(vals))
+		for i, raw := range vals {
+			out[i] = raw.(int64)
+		}
+		return out
+	}, c.treeCost(8))
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	return res.([]int64), nil
+}
+
+// ScatterBytes distributes root's per-rank payloads: rank i receives
+// parts[i]. Only root's parts argument is consulted.
+func (c *Comm) ScatterBytes(root int, parts [][]byte) ([]byte, error) {
+	if root < 0 || root >= c.w.nprocs {
+		return nil, fmt.Errorf("mpi: Scatter root %d of %d", root, c.w.nprocs)
+	}
+	var val interface{}
+	if c.rank == root {
+		if len(parts) != c.w.nprocs {
+			return nil, fmt.Errorf("mpi: Scatter with %d parts for %d ranks", len(parts), c.w.nprocs)
+		}
+		cp := make([][]byte, len(parts))
+		var maxLen int64
+		for i, p := range parts {
+			cp[i] = append([]byte(nil), p...)
+			if int64(len(p)) > maxLen {
+				maxLen = int64(len(p))
+			}
+		}
+		val = cp
+	}
+	res, err := c.collect(val, func(vals []interface{}) interface{} {
+		return vals[root]
+	}, c.treeCost(16))
+	if err != nil {
+		return nil, err
+	}
+	all, ok := res.([][]byte)
+	if !ok {
+		return nil, fmt.Errorf("mpi: Scatter root %d passed no parts", root)
+	}
+	return all[c.rank], nil
+}
+
+// ScanInt64 returns the inclusive prefix reduction of v: rank r receives
+// op(v_0, ..., v_r).
+func (c *Comm) ScanInt64(op ReduceOp, v int64) (int64, error) {
+	all, err := c.AllgatherInt64(v)
+	if err != nil {
+		return 0, err
+	}
+	acc := all[0]
+	for r := 1; r <= c.rank; r++ {
+		switch op {
+		case OpSum:
+			acc += all[r]
+		case OpMax:
+			if all[r] > acc {
+				acc = all[r]
+			}
+		case OpMin:
+			if all[r] < acc {
+				acc = all[r]
+			}
+		}
+	}
+	return acc, nil
+}
+
+// ReduceInt64 combines one int64 per rank with op at root; non-root ranks
+// receive 0.
+func (c *Comm) ReduceInt64(root int, op ReduceOp, v int64) (int64, error) {
+	if root < 0 || root >= c.w.nprocs {
+		return 0, fmt.Errorf("mpi: Reduce root %d of %d", root, c.w.nprocs)
+	}
+	all, err := c.AllreduceInt64(op, v)
+	if err != nil {
+		return 0, err
+	}
+	if c.rank != root {
+		return 0, nil
+	}
+	return all, nil
+}
+
+// GatherBytes collects each rank's (possibly differently sized) payload at
+// root, in rank order. Non-root ranks receive nil.
+func (c *Comm) GatherBytes(root int, data []byte) ([][]byte, error) {
+	if root < 0 || root >= c.w.nprocs {
+		return nil, fmt.Errorf("mpi: Gather root %d of %d", root, c.w.nprocs)
+	}
+	all, err := c.AllgatherBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	return all, nil
+}

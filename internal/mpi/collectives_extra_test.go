@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestGatherInt64(t *testing.T) {
+	_, err := Run(testCfg(5), func(c *Comm) error {
+		got, err := c.GatherInt64(2, int64(c.Rank()*3))
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 2 {
+			if got != nil {
+				return fmt.Errorf("non-root received %v", got)
+			}
+			return nil
+		}
+		for i, v := range got {
+			if v != int64(i*3) {
+				return fmt.Errorf("got[%d] = %d", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherBadRoot(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if _, err := c.GatherInt64(5, 1); err == nil {
+			return errors.New("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterBytes(t *testing.T) {
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		var parts [][]byte
+		if c.Rank() == 1 {
+			for i := 0; i < 4; i++ {
+				parts = append(parts, bytes.Repeat([]byte{byte(i + 1)}, i+1))
+			}
+		}
+		got, err := c.ScatterBytes(1, parts)
+		if err != nil {
+			return err
+		}
+		want := bytes.Repeat([]byte{byte(c.Rank() + 1)}, c.Rank()+1)
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterRootBufferIsCopied(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		var parts [][]byte
+		if c.Rank() == 0 {
+			parts = [][]byte{{1}, {2}}
+		}
+		got, err := c.ScatterBytes(0, parts)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			parts[0][0] = 99 // must not affect what was distributed
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if got[0] != byte(c.Rank()+1) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanInt64(t *testing.T) {
+	_, err := Run(testCfg(6), func(c *Comm) error {
+		sum, err := c.ScanInt64(OpSum, int64(c.Rank()+1))
+		if err != nil {
+			return err
+		}
+		want := int64((c.Rank() + 1) * (c.Rank() + 2) / 2)
+		if sum != want {
+			return fmt.Errorf("rank %d: scan sum %d, want %d", c.Rank(), sum, want)
+		}
+		max, err := c.ScanInt64(OpMax, int64((c.Rank()%3)*10))
+		if err != nil {
+			return err
+		}
+		wantMax := int64(0)
+		for r := 0; r <= c.Rank(); r++ {
+			if v := int64((r % 3) * 10); v > wantMax {
+				wantMax = v
+			}
+		}
+		if max != wantMax {
+			return fmt.Errorf("rank %d: scan max %d, want %d", c.Rank(), max, wantMax)
+		}
+		min, err := c.ScanInt64(OpMin, int64(c.Rank()))
+		if err != nil {
+			return err
+		}
+		if min != 0 {
+			return fmt.Errorf("rank %d: scan min %d", c.Rank(), min)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		got, err := c.ReduceInt64(3, OpSum, 5)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 3 && got != 20 {
+			return fmt.Errorf("root got %d", got)
+		}
+		if c.Rank() != 3 && got != 0 {
+			return fmt.Errorf("non-root got %d", got)
+		}
+		if _, err := c.ReduceInt64(-1, OpSum, 1); err == nil {
+			return errors.New("bad root accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherBytesAtRoot(t *testing.T) {
+	_, err := Run(testCfg(3), func(c *Comm) error {
+		got, err := c.GatherBytes(0, []byte{byte(c.Rank() + 10)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != 0 {
+			if got != nil {
+				return errors.New("non-root received data")
+			}
+			return nil
+		}
+		for r, b := range got {
+			if len(b) != 1 || b[0] != byte(r+10) {
+				return fmt.Errorf("from %d got %v", r, b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/tcio/tcio/internal/cluster"
+)
+
+func TestSharedOnceSingleEvaluation(t *testing.T) {
+	var created atomic.Int64
+	_, err := Run(testCfg(6), func(c *Comm) error {
+		v, err := c.SharedOnce(func() interface{} {
+			created.Add(1)
+			return map[string]int{"x": 1}
+		})
+		if err != nil {
+			return err
+		}
+		m, ok := v.(map[string]int)
+		if !ok || m["x"] != 1 {
+			return fmt.Errorf("got %v", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Load() != 1 {
+		t.Fatalf("create ran %d times", created.Load())
+	}
+}
+
+func TestSharedOnceIsSameObject(t *testing.T) {
+	// Every rank must receive the SAME instance: mutations by one rank are
+	// visible to all (that is the point — shared bookkeeping).
+	type box struct{ ch chan int }
+	_, err := Run(testCfg(4), func(c *Comm) error {
+		v, err := c.SharedOnce(func() interface{} { return &box{ch: make(chan int, 4)} })
+		if err != nil {
+			return err
+		}
+		b := v.(*box)
+		b.ch <- c.Rank()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 && len(b.ch) != 4 {
+			return fmt.Errorf("channel holds %d items, want 4", len(b.ch))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendSizedBillsCustomBytes(t *testing.T) {
+	// Two messages with identical payloads but different billed sizes must
+	// produce different network byte counts.
+	run := func(billed int64) int64 {
+		rep, err := Run(testCfg(2), func(c *Comm) error {
+			if c.Rank() == 0 {
+				r := c.IsendSized(1, 3, make([]byte, 100), billed)
+				if _, err := r.Wait(); err != nil {
+					return err
+				}
+			} else {
+				if _, err := c.Recv(0, 3); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Net.Bytes
+	}
+	if got := run(7); got != 7 {
+		t.Fatalf("billed 7, network saw %d", got)
+	}
+	if got := run(-1); got != 100 {
+		t.Fatalf("default billing, network saw %d, want 100", got)
+	}
+}
+
+func TestAlltoallvSizedValidation(t *testing.T) {
+	_, err := Run(testCfg(2), func(c *Comm) error {
+		if _, err := c.Alltoallv(make([][]byte, 5)); err == nil {
+			return errors.New("wrong buffer count accepted")
+		}
+		if _, err := c.AlltoallvSized(make([][]byte, 2), make([]int64, 1)); err == nil {
+			return errors.New("wrong size count accepted")
+		}
+		// A well-formed call must still complete on both ranks.
+		send := [][]byte{[]byte("a"), []byte("b")}
+		got, err := c.AlltoallvSized(send, []int64{1, 1})
+		if err != nil {
+			return err
+		}
+		if len(got) != 2 {
+			return fmt.Errorf("got %d buffers", len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallvLargePayloadsRoundTrip(t *testing.T) {
+	const p = 4
+	_, err := Run(testCfg(p), func(c *Comm) error {
+		send := make([][]byte, p)
+		for dst := 0; dst < p; dst++ {
+			send[dst] = make([]byte, 1000+dst)
+			for i := range send[dst] {
+				send[dst][i] = byte(c.Rank()*p + dst)
+			}
+		}
+		recv, err := c.Alltoallv(send)
+		if err != nil {
+			return err
+		}
+		for src := 0; src < p; src++ {
+			if len(recv[src]) != 1000+c.Rank() {
+				return fmt.Errorf("from %d got %d bytes", src, len(recv[src]))
+			}
+			for i, b := range recv[src] {
+				if b != byte(src*p+c.Rank()) {
+					return fmt.Errorf("from %d byte %d = %d", src, i, b)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsecutiveCollectivesKeepOrder(t *testing.T) {
+	// A stress sequence of mixed collectives must stay matched across
+	// epochs (the timeBarrier recycles correctly).
+	_, err := Run(testCfg(5), func(c *Comm) error {
+		for i := 0; i < 50; i++ {
+			sum, err := c.AllreduceInt64(OpSum, int64(i))
+			if err != nil {
+				return err
+			}
+			if sum != int64(i*5) {
+				return fmt.Errorf("round %d: sum %d", i, sum)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			all, err := c.AllgatherInt64(int64(c.Rank() * i))
+			if err != nil {
+				return err
+			}
+			for r, v := range all {
+				if v != int64(r*i) {
+					return fmt.Errorf("round %d: all[%d] = %d", i, r, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierCostGrowsWithScale(t *testing.T) {
+	makespan := func(p int) int64 {
+		rep, err := Run(testCfg(p), func(c *Comm) error { return c.Barrier() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(rep.MaxTime)
+	}
+	if small, big := makespan(2), makespan(64); big <= small {
+		t.Fatalf("barrier at 64 ranks (%d) not dearer than at 2 (%d)", big, small)
+	}
+}
+
+func TestLocalRanksCommunicateThroughMemory(t *testing.T) {
+	// Ranks 0 and 1 share node 0: their traffic must be local.
+	rep, err := Run(Config{Procs: 2, Machine: cluster.Lonestar()}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, make([]byte, 1000))
+		}
+		_, err := c.Recv(0, 0)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Net.LocalMessages != 1 {
+		t.Fatalf("LocalMessages = %d, want 1", rep.Net.LocalMessages)
+	}
+}

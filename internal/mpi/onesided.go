@@ -1,0 +1,315 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/netsim"
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// This file implements MPI-2 passive-target one-sided communication:
+// windows, MPI_Win_lock / MPI_Win_unlock, MPI_Put / MPI_Get, and the
+// indexed-datatype transfers TCIO uses to ship a whole level-1 buffer in a
+// single network operation (§IV.A: "We use MPI_Type_indexed to combine
+// multiple data blocks as one derived data type instance").
+//
+// The paper deliberately avoids MPI_Win_fence (a collective that would
+// break TCIO's fully independent I/O calls) in favour of the lock-request
+// paradigm; this runtime therefore provides per-target shared/exclusive
+// window locks as the primary synchronization.
+
+// winLock is one target's window lock. Waiting is abortable so a failed
+// rank cannot deadlock the job.
+//
+// Virtual-time semantics: exclusive epochs serialize against everything;
+// shared epochs serialize only against exclusive epochs (readers do not
+// chain behind each other). The handoff instant is the end of the holder's
+// critical section — the time spent issuing operations — not the wire time
+// of its transfers, which the NIC resources account separately; chaining
+// wire time here would doubly serialize back-to-back epochs in a way real
+// RDMA hardware does not.
+type winLock struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	excl   bool
+	shared int
+	// lastExcl / lastShared carry virtual time between epochs: when the
+	// most recent exclusive (resp. shared) epoch handed off.
+	lastExcl   simtime.Time
+	lastShared simtime.Time
+}
+
+func newWinLock() *winLock {
+	l := &winLock{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+func (l *winLock) acquire(exclusive bool, abortedErr func() error) (simtime.Time, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if err := abortedErr(); err != nil {
+			return 0, err
+		}
+		if exclusive {
+			if !l.excl && l.shared == 0 {
+				l.excl = true
+				return simtime.Max(l.lastExcl, l.lastShared), nil
+			}
+		} else if !l.excl {
+			l.shared++
+			return l.lastExcl, nil
+		}
+		l.cond.Wait()
+	}
+}
+
+func (l *winLock) release(exclusive bool, at simtime.Time) {
+	l.mu.Lock()
+	if exclusive {
+		l.excl = false
+		if at > l.lastExcl {
+			l.lastExcl = at
+		}
+	} else {
+		if l.shared > 0 {
+			l.shared--
+		}
+		if at > l.lastShared {
+			l.lastShared = at
+		}
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+func (l *winLock) wake() { l.cond.Broadcast() }
+
+// winGlobal is the world-wide state of one window: every rank's exposed
+// memory and per-target locks.
+type winGlobal struct {
+	id    int
+	bufs  [][]byte
+	locks []*winLock
+}
+
+// Win is one rank's handle on a window.
+type Win struct {
+	c     *Comm
+	g     *winGlobal
+	held  map[int]*heldLock
+	class netsim.Class
+}
+
+// SetClass overrides the network message class used by this handle's puts
+// and gets. The default is OneSided (RDMA); forcing TwoSided charges each
+// transfer the send/receive matching costs instead — the ablation isolating
+// the paper's claim that one-sided communication is what lets TCIO scale.
+func (w *Win) SetClass(class netsim.Class) { w.class = class }
+
+type heldLock struct {
+	exclusive  bool
+	maxArrival simtime.Time // latest completion among this epoch's puts
+}
+
+// perSegmentCPU is the local cost of describing one block in an indexed
+// datatype (building the type, driving the scatter/gather engine).
+const perSegmentCPU = 60 * simtime.Nanosecond
+
+// WinCreate is collective: every rank contributes local as its exposed
+// window memory and receives a handle. Window memory is read and written
+// by remote ranks only between Lock and Unlock.
+func (c *Comm) WinCreate(local []byte) (*Win, error) {
+	res, err := c.collect(local, func(vals []interface{}) interface{} {
+		g := &winGlobal{bufs: make([][]byte, len(vals)), locks: make([]*winLock, len(vals))}
+		for i, raw := range vals {
+			g.bufs[i], _ = raw.([]byte)
+			g.locks[i] = newWinLock()
+		}
+		c.w.winMu.Lock()
+		g.id = len(c.w.windows)
+		c.w.windows = append(c.w.windows, g)
+		c.w.winMu.Unlock()
+		return g
+	}, c.treeCost(16))
+	if err != nil {
+		return nil, err
+	}
+	return &Win{c: c, g: res.(*winGlobal), held: make(map[int]*heldLock), class: netsim.OneSided}, nil
+}
+
+// Size reports the length of the window memory exposed by target.
+func (w *Win) Size(target int) int64 { return int64(len(w.g.bufs[target])) }
+
+// Local returns this rank's own exposed window memory.
+func (w *Win) Local() []byte { return w.g.bufs[w.c.rank] }
+
+// Lock opens an access epoch on target's window (MPI_Win_lock). exclusive
+// corresponds to MPI_LOCK_EXCLUSIVE; otherwise MPI_LOCK_SHARED.
+func (w *Win) Lock(target int, exclusive bool) error {
+	if target < 0 || target >= len(w.g.bufs) {
+		return fmt.Errorf("mpi: Win.Lock target %d of %d", target, len(w.g.bufs))
+	}
+	if _, dup := w.held[target]; dup {
+		return fmt.Errorf("mpi: Win.Lock target %d already locked by rank %d", target, w.c.rank)
+	}
+	prevRelease, err := w.g.locks[target].acquire(exclusive, w.c.abortedErr)
+	if err != nil {
+		return err
+	}
+	// The lock request is a small round trip to the target node, and the
+	// epoch cannot begin before the previous exclusive holder released.
+	w.c.clock().AdvanceTo(prevRelease)
+	net := w.c.w.machine.Net
+	w.c.clock().Advance(2*net.Latency + net.SetupOneSided)
+	w.held[target] = &heldLock{exclusive: exclusive}
+	return nil
+}
+
+// Unlock closes the access epoch on target (MPI_Win_unlock). All of the
+// epoch's puts and gets are complete, at both origin and target, when
+// Unlock returns; the origin's clock advances accordingly. The lock itself
+// hands off at the end of the critical section (operations issued), so
+// successors queue behind the epoch's bookkeeping, not its wire time.
+func (w *Win) Unlock(target int) error {
+	h, ok := w.held[target]
+	if !ok {
+		return fmt.Errorf("mpi: Win.Unlock target %d not locked by rank %d", target, w.c.rank)
+	}
+	delete(w.held, target)
+	net := w.c.w.machine.Net
+	handoff := w.c.clock().Now().Add(net.Latency)
+	w.c.clock().AdvanceTo(h.maxArrival)
+	w.c.clock().Advance(net.Latency) // unlock notification
+	w.g.locks[target].release(h.exclusive, handoff)
+	return nil
+}
+
+// Held reports whether this rank currently holds a lock on target.
+func (w *Win) Held(target int) bool {
+	_, ok := w.held[target]
+	return ok
+}
+
+// epoch returns the held-lock record, erroring when the caller skipped Lock.
+func (w *Win) epoch(target int, op string) (*heldLock, error) {
+	h, ok := w.held[target]
+	if !ok {
+		return nil, fmt.Errorf("mpi: %s to target %d without holding its window lock", op, target)
+	}
+	return h, nil
+}
+
+// Put copies data into target's window at offset off (MPI_Put). The
+// operation is complete only after Unlock.
+func (w *Win) Put(target int, off int64, data []byte) error {
+	return w.PutSegments(target, []datatype.Segment{{Off: off, Len: int64(len(data))}}, data)
+}
+
+// PutSegments scatters data into target's window according to segs — the
+// runtime equivalent of a single MPI_Put with an MPI_Type_indexed target
+// datatype: one network transfer regardless of the number of blocks.
+// data holds the blocks' bytes concatenated in segment order.
+func (w *Win) PutSegments(target int, segs []datatype.Segment, data []byte) error {
+	h, err := w.epoch(target, "Put")
+	if err != nil {
+		return err
+	}
+	buf := w.g.bufs[target]
+	var total int64
+	for _, s := range segs {
+		if s.Off < 0 || s.Off+s.Len > int64(len(buf)) {
+			return fmt.Errorf("mpi: Put segment [%d,%d) outside window of %d bytes", s.Off, s.Off+s.Len, len(buf))
+		}
+		total += s.Len
+	}
+	if total != int64(len(data)) {
+		return fmt.Errorf("mpi: Put %d bytes for segments totalling %d", len(data), total)
+	}
+	pos := int64(0)
+	for _, s := range segs {
+		copy(buf[s.Off:s.Off+s.Len], data[pos:pos+s.Len])
+		pos += s.Len
+	}
+	depart := w.c.clock().Advance(sendOverhead + simtime.Duration(len(segs))*perSegmentCPU)
+	arrival := w.c.w.net.Transfer(
+		w.c.w.machine.NodeOf(w.c.rank), w.c.w.machine.NodeOf(target),
+		w.c.w.machine.Scale(total), depart, w.class)
+	if arrival > h.maxArrival {
+		h.maxArrival = arrival
+	}
+	return nil
+}
+
+// Get copies n bytes from target's window at offset off (MPI_Get).
+func (w *Win) Get(target int, off, n int64) ([]byte, error) {
+	return w.GetSegments(target, []datatype.Segment{{Off: off, Len: n}})
+}
+
+// GetSegments gathers the given window segments of target into one dense
+// buffer — a single MPI_Get with an indexed datatype, one network transfer.
+// The caller's clock waits for the transfer (the data is needed on return).
+func (w *Win) GetSegments(target int, segs []datatype.Segment) ([]byte, error) {
+	h, err := w.GetSegmentsAsync(target, segs)
+	if err != nil {
+		return nil, err
+	}
+	return h.Complete(), nil
+}
+
+// GetHandle is an in-flight asynchronous get. Its data is guaranteed only
+// after Complete or after unlocking the access epoch it was issued in.
+type GetHandle struct {
+	c       *Comm
+	data    []byte
+	arrival simtime.Time
+}
+
+// Complete waits (in virtual time) for the transfer and returns the data.
+func (h *GetHandle) Complete() []byte {
+	h.c.clock().AdvanceTo(h.arrival)
+	return h.data
+}
+
+// GetSegmentsAsync issues a get without waiting for its wire time: the
+// origin only pays the issue overhead now, and the epoch's Unlock (or the
+// handle's Complete) synchronizes with the transfer. This is how an MPI
+// program overlaps many gets within one lock epoch before a single
+// MPI_Win_unlock.
+func (w *Win) GetSegmentsAsync(target int, segs []datatype.Segment) (*GetHandle, error) {
+	h, err := w.epoch(target, "Get")
+	if err != nil {
+		return nil, err
+	}
+	buf := w.g.bufs[target]
+	var total int64
+	for _, s := range segs {
+		if s.Off < 0 || s.Off+s.Len > int64(len(buf)) {
+			return nil, fmt.Errorf("mpi: Get segment [%d,%d) outside window of %d bytes", s.Off, s.Off+s.Len, len(buf))
+		}
+		total += s.Len
+	}
+	out := make([]byte, 0, total)
+	for _, s := range segs {
+		out = append(out, buf[s.Off:s.Off+s.Len]...)
+	}
+	depart := w.c.clock().Advance(sendOverhead + simtime.Duration(len(segs))*perSegmentCPU)
+	arrival := w.c.w.net.Transfer(
+		w.c.w.machine.NodeOf(target), w.c.w.machine.NodeOf(w.c.rank),
+		w.c.w.machine.Scale(total), depart, w.class)
+	if arrival > h.maxArrival {
+		h.maxArrival = arrival
+	}
+	return &GetHandle{c: w.c, data: out, arrival: arrival}, nil
+}
+
+// Fence is the collective synchronization alternative (MPI_Win_fence).
+// TCIO does not use it — the paper rejects fences because they would force
+// collective behaviour on independent I/O calls — but it is provided for
+// completeness and for the ablation benchmarks.
+func (w *Win) Fence() error {
+	return w.c.Barrier()
+}

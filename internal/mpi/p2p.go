@@ -1,0 +1,178 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tcio/tcio/internal/netsim"
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	src     int
+	tag     int
+	data    []byte
+	arrival simtime.Time // virtual instant the last byte reaches the receiver
+}
+
+// mailbox holds a rank's unmatched inbound messages. Matching is FIFO per
+// (source, tag), as MPI requires.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []envelope
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) deposit(e envelope) {
+	m.mu.Lock()
+	m.queue = append(m.queue, e)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available, removing
+// and returning it. Wildcards AnySource/AnyTag match anything. It returns
+// an error when the world aborts while waiting.
+func (m *mailbox) take(src, tag int, abortedErr func() error) (envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.queue {
+			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return e, nil
+			}
+		}
+		if err := abortedErr(); err != nil {
+			return envelope{}, err
+		}
+		m.cond.Wait()
+	}
+}
+
+// wake unblocks all waiters so they can observe an abort.
+func (m *mailbox) wake() { m.cond.Broadcast() }
+
+// sendOverhead is the local CPU cost of posting one message.
+const sendOverhead = 400 * simtime.Nanosecond
+
+// Send delivers data to rank dst with the given tag. The runtime buffers
+// eagerly (the send completes locally once the message is handed to the
+// network), matching MPI's buffered-send semantics; the network model
+// decides when the bytes arrive at dst.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	return c.send(dst, tag, data, netsim.TwoSided, -1)
+}
+
+// send delivers data; simBytes is the billed simulated size, or -1 to bill
+// the scaled payload length. Billing less than the payload models compact
+// wire encodings (ROMIO ships datatype descriptors, not expanded offset
+// lists, so its exchange metadata must not be charged at payload scale).
+func (c *Comm) send(dst, tag int, data []byte, class netsim.Class, simBytes int64) error {
+	if err := c.abortedErr(); err != nil {
+		return err
+	}
+	if dst < 0 || dst >= c.w.nprocs {
+		return fmt.Errorf("mpi: Send to rank %d of %d", dst, c.w.nprocs)
+	}
+	if simBytes < 0 {
+		simBytes = c.w.machine.Scale(int64(len(data)))
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	depart := c.clock().Advance(sendOverhead)
+	arrival := c.w.net.Transfer(
+		c.w.machine.NodeOf(c.rank), c.w.machine.NodeOf(dst),
+		simBytes, depart, class)
+	c.w.ranks[dst].box.deposit(envelope{src: c.rank, tag: tag, data: buf, arrival: arrival})
+	return nil
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. Use AnySource/AnyTag as wildcards. The rank's clock
+// advances to the message's arrival instant.
+func (c *Comm) Recv(src, tag int) ([]byte, error) {
+	if src != AnySource && (src < 0 || src >= c.w.nprocs) {
+		return nil, fmt.Errorf("mpi: Recv from rank %d of %d", src, c.w.nprocs)
+	}
+	e, err := c.w.ranks[c.rank].box.take(src, tag, c.abortedErr)
+	if err != nil {
+		return nil, err
+	}
+	c.clock().AdvanceTo(e.arrival)
+	return e.data, nil
+}
+
+// Request represents an outstanding nonblocking operation.
+type Request struct {
+	c      *Comm
+	isRecv bool
+	src    int
+	tag    int
+
+	// send-side completion state
+	done    bool
+	data    []byte
+	arrival simtime.Time
+	err     error
+}
+
+// Isend posts a nonblocking send. With eager buffering the message is
+// already on the network when Isend returns; Wait only reconciles clocks.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	err := c.send(dst, tag, data, netsim.TwoSided, -1)
+	return &Request{c: c, done: true, err: err}
+}
+
+// IsendSized is Isend with an explicit billed simulated size — for
+// messages whose wire representation is more compact than the in-memory
+// payload (e.g. two-phase exchange descriptors).
+func (c *Comm) IsendSized(dst, tag int, data []byte, simBytes int64) *Request {
+	err := c.send(dst, tag, data, netsim.TwoSided, simBytes)
+	return &Request{c: c, done: true, err: err}
+}
+
+// Irecv posts a nonblocking receive. Matching happens at Wait time, which
+// is sufficient for the runtime's eager-buffered sends (no rendezvous
+// deadlocks are possible).
+func (c *Comm) Irecv(src, tag int) *Request {
+	return &Request{c: c, isRecv: true, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the received payload
+// (nil for sends).
+func (r *Request) Wait() ([]byte, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	if r.isRecv {
+		e, err := r.c.w.ranks[r.c.rank].box.take(r.src, r.tag, r.c.abortedErr)
+		if err != nil {
+			r.done, r.err = true, err
+			return nil, err
+		}
+		r.done, r.data, r.arrival = true, e.data, e.arrival
+		r.c.clock().AdvanceTo(e.arrival)
+		return r.data, nil
+	}
+	r.done = true
+	return nil, nil
+}
+
+// WaitAll completes all requests, returning the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

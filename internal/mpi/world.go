@@ -1,0 +1,287 @@
+// Package mpi is an in-process message-passing runtime with MPI semantics,
+// built so the TCIO algorithms can run unmodified in a Go simulator.
+//
+// Ranks are goroutines. The runtime provides blocking and nonblocking
+// point-to-point communication, the collectives the paper's I/O stacks
+// need (barrier, broadcast, reductions, gathers, all-to-all), and MPI-2
+// passive-target one-sided communication (windows with lock/unlock,
+// put/get, and indexed-datatype transfers).
+//
+// Data movement is real: bytes are copied between rank buffers, so tests
+// can verify results exactly. Time is virtual: each rank owns a
+// simtime.Clock, messages carry timestamps through the netsim network
+// model, and shared hardware contention turns into elapsed virtual time.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"github.com/tcio/tcio/internal/cluster"
+	"github.com/tcio/tcio/internal/netsim"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config describes one parallel job.
+type Config struct {
+	// Procs is the number of MPI ranks.
+	Procs int
+	// Machine is the simulated cluster; the zero value defaults to Lonestar.
+	Machine cluster.Machine
+	// FS is the shared parallel file system; nil creates one with defaults
+	// scaled by the machine's ByteScale.
+	FS *pfs.FileSystem
+	// EnforceMemory enables the per-node simulated memory accountant.
+	// When false, allocations always succeed (most unit tests).
+	EnforceMemory bool
+}
+
+// World is the shared state of one job: the network, the file system, the
+// memory accountant, and all rank mailboxes and windows.
+type World struct {
+	nprocs  int
+	machine cluster.Machine
+	net     *netsim.Network
+	fs      *pfs.FileSystem
+	mem     *cluster.MemTracker
+
+	ranks []*rankState
+
+	abortOnce sync.Once
+	aborted   chan struct{}
+
+	barrier *timeBarrier
+
+	winMu   sync.Mutex
+	windows []*winGlobal
+}
+
+// rankState is the per-rank runtime state.
+type rankState struct {
+	rank  int
+	clock *simtime.Clock
+	box   *mailbox
+}
+
+// Comm is rank's handle to the world — the equivalent of
+// (MPI_COMM_WORLD, my_rank). All Comm methods must be called only from the
+// owning rank's goroutine.
+type Comm struct {
+	w    *World
+	rank int
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// MaxTime is the latest virtual instant reached by any rank: the
+	// job's makespan.
+	MaxTime simtime.Time
+	// RankTimes holds each rank's final clock.
+	RankTimes []simtime.Time
+	// Net is the network activity of the run.
+	Net netsim.Stats
+	// FS is the file system activity of the run.
+	FS pfs.Stats
+	// PeakMemory is the largest simulated per-rank allocation high-water
+	// mark, in simulated bytes.
+	PeakMemory int64
+}
+
+// Run executes fn on every rank of a fresh world and waits for completion.
+// The first error (by rank order) is returned; a panicking rank aborts the
+// world so blocked peers fail instead of deadlocking.
+func Run(cfg Config, fn func(*Comm) error) (Report, error) {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	errs := make([]error, cfg.Procs)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Errorf("rank %d panicked: %v\n%s", r, p, debug.Stack())
+					w.abort()
+				}
+			}()
+			if err := fn(&Comm{w: w, rank: r}); err != nil {
+				errs[r] = fmt.Errorf("rank %d: %w", r, err)
+				w.abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	rep := w.report()
+	for _, e := range errs {
+		if e != nil {
+			return rep, e
+		}
+	}
+	return rep, nil
+}
+
+func newWorld(cfg Config) (*World, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("mpi: Procs = %d", cfg.Procs)
+	}
+	m := cfg.Machine
+	if m.Nodes == 0 {
+		m = cluster.Lonestar()
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if need := m.NodesFor(cfg.Procs); need > m.Nodes {
+		return nil, fmt.Errorf("mpi: %d ranks need %d nodes, machine has %d", cfg.Procs, need, m.Nodes)
+	}
+	fs := cfg.FS
+	if fs == nil {
+		fscfg := pfs.DefaultConfig()
+		fscfg.ByteScale = m.ByteScale
+		fs = pfs.New(fscfg)
+	}
+	var mem *cluster.MemTracker
+	if cfg.EnforceMemory {
+		mem = cluster.NewMemTracker(m, cfg.Procs)
+	} else {
+		mem = cluster.Unlimited()
+	}
+	w := &World{
+		nprocs:  cfg.Procs,
+		machine: m,
+		net:     netsim.New(m.NodesFor(cfg.Procs), m.Net),
+		fs:      fs,
+		mem:     mem,
+		aborted: make(chan struct{}),
+		barrier: newTimeBarrier(cfg.Procs),
+	}
+	w.ranks = make([]*rankState, cfg.Procs)
+	for r := range w.ranks {
+		w.ranks[r] = &rankState{
+			rank:  r,
+			clock: simtime.NewClock(),
+			box:   newMailbox(),
+		}
+	}
+	return w, nil
+}
+
+// ErrAborted is returned by blocking operations when the world has been
+// torn down because some rank failed.
+var ErrAborted = errors.New("mpi: world aborted")
+
+func (w *World) abort() {
+	w.abortOnce.Do(func() {
+		close(w.aborted)
+		for _, rs := range w.ranks {
+			rs.box.wake()
+		}
+		w.winMu.Lock()
+		for _, g := range w.windows {
+			for _, l := range g.locks {
+				l.wake()
+			}
+		}
+		w.winMu.Unlock()
+	})
+}
+
+func (w *World) report() Report {
+	rep := Report{
+		RankTimes: make([]simtime.Time, w.nprocs),
+		Net:       w.net.Stats(),
+		FS:        w.fs.Stats(),
+	}
+	for r, rs := range w.ranks {
+		rep.RankTimes[r] = rs.clock.Now()
+		if rs.clock.Now() > rep.MaxTime {
+			rep.MaxTime = rs.clock.Now()
+		}
+	}
+	rep.PeakMemory = w.mem.MaxPeak()
+	return rep
+}
+
+// Rank reports the calling rank's id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks in the world.
+func (c *Comm) Size() int { return c.w.nprocs }
+
+// Node reports the compute node hosting this rank.
+func (c *Comm) Node() int { return c.w.machine.NodeOf(c.rank) }
+
+// Machine returns the cluster description.
+func (c *Comm) Machine() cluster.Machine { return c.w.machine }
+
+// FS returns the shared parallel file system.
+func (c *Comm) FS() *pfs.FileSystem { return c.w.fs }
+
+// Now reports the rank's current virtual time.
+func (c *Comm) Now() simtime.Time { return c.clock().Now() }
+
+// Compute charges d of local computation to the rank's clock.
+func (c *Comm) Compute(d simtime.Duration) { c.clock().Advance(d) }
+
+// AdvanceTo moves the rank's clock forward to t if t is in the future —
+// used by I/O layers that learn completion times from the file system.
+func (c *Comm) AdvanceTo(t simtime.Time) { c.clock().AdvanceTo(t) }
+
+func (c *Comm) clock() *simtime.Clock { return c.w.ranks[c.rank].clock }
+
+// Malloc allocates n real bytes, charging n*ByteScale simulated bytes to
+// this rank's node memory share. It fails with an error wrapping
+// cluster.ErrOutOfMemory when the share is exhausted — the mechanism behind
+// the paper's Fig. 6/7 OCIO failure at the 48 GB dataset.
+func (c *Comm) Malloc(n int64) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("mpi: Malloc(%d)", n)
+	}
+	if err := c.w.mem.Alloc(c.rank, c.w.machine.Scale(n)); err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil
+}
+
+// Reserve charges simulated memory without allocating real bytes — for
+// accounting structures whose real size is deliberately smaller than their
+// simulated size (for example an application's scaled-down arrays).
+func (c *Comm) Reserve(simBytes int64) error {
+	return c.w.mem.Alloc(c.rank, simBytes)
+}
+
+// Free returns the simulated memory held by buf to this rank's share.
+func (c *Comm) Free(buf []byte) {
+	c.w.mem.Free(c.rank, c.w.machine.Scale(int64(len(buf))))
+}
+
+// Release returns previously Reserved simulated bytes.
+func (c *Comm) Release(simBytes int64) {
+	c.w.mem.Free(c.rank, simBytes)
+}
+
+// MemUsed reports the rank's current simulated memory footprint.
+func (c *Comm) MemUsed() int64 { return c.w.mem.Used(c.rank) }
+
+// aborted reports whether the world has been torn down.
+func (c *Comm) abortedErr() error {
+	select {
+	case <-c.w.aborted:
+		return ErrAborted
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,249 @@
+// Package mpiio implements the MPI-IO layer of the simulation: shared file
+// handles, file views built from derived datatypes, independent per-piece
+// I/O ("vanilla MPI-IO" in the paper's terminology), and OCIO — the
+// original collective I/O of ROMIO, i.e. the two-phase algorithm with file
+// views, aggregators, and an all-to-all data exchange (paper §III).
+//
+// TCIO (package tcio) is the paper's alternative to everything here: it
+// needs none of the file-view machinery and replaces the two-phase exchange
+// with one-sided transfers into level-2 buffers.
+package mpiio
+
+import (
+	"fmt"
+
+	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// Per-item library CPU costs, multiplied by the machine's ByteScale (a
+// scaled run stands for ByteScale times as many items).
+const (
+	// callCPU is charged per independent I/O call (request setup).
+	callCPU = 150 * simtime.Nanosecond
+	// runCPU is charged per flattened (offset,len) run the two-phase
+	// machinery encodes, decodes, scatters, or assembles. The cost of this
+	// scatter-gather processing is a recognized OCIO overhead (the
+	// view-based collective I/O work the paper cites exists to cut it).
+	runCPU = 60 * simtime.Nanosecond
+)
+
+// File is one rank's handle on a shared file. A File is not safe for
+// concurrent use; each rank owns its handle, as in MPI.
+type File struct {
+	c  *mpi.Comm
+	pf *pfs.File
+
+	pos int64 // independent file pointer, in bytes past the view
+
+	disp     int64
+	etype    datatype.Type
+	filetype datatype.Type
+
+	// aggregators is the number of ranks that perform file accesses in
+	// collective calls (ROMIO's cb_nodes hint). 0 means every rank, which
+	// is how the paper's experiments ran ("we do not enable collective
+	// buffering"). See SetAggregators.
+	aggregators int
+
+	// sieving enables data sieving for independent reads (ROMIO's other
+	// classic optimization): a non-contiguous request is served by one
+	// large contiguous read spanning it, then filtered in memory.
+	sieving bool
+}
+
+// SetAggregators restricts collective I/O to n aggregator ranks (ROMIO's
+// collective-buffering cb_nodes hint; the paper's related work, [20][21]).
+// n = 0 restores the default of every rank aggregating. The aggregator set
+// is ranks 0, P/n, 2P/n, ... — one per node group, as ROMIO picks.
+func (f *File) SetAggregators(n int) error {
+	if n < 0 || n > f.c.Size() {
+		return fmt.Errorf("mpiio: %d aggregators with %d ranks", n, f.c.Size())
+	}
+	f.aggregators = n
+	return nil
+}
+
+// SetSieving toggles data sieving for independent reads.
+func (f *File) SetSieving(on bool) { f.sieving = on }
+
+// chargeCPU charges n items' worth of per-item processing cost.
+func (f *File) chargeCPU(per simtime.Duration, n int) {
+	f.c.Compute(per * simtime.Duration(n) * simtime.Duration(f.c.Machine().ByteScale))
+}
+
+// Open opens (creating if necessary) the named shared file. Open is not
+// collective in this runtime — the underlying object is shared by name —
+// but callers conventionally open on all ranks, as MPI_File_open requires.
+func Open(c *mpi.Comm, name string) *File {
+	return &File{
+		c:        c,
+		pf:       c.FS().Open(name),
+		etype:    datatype.Byte,
+		filetype: datatype.Byte,
+	}
+}
+
+// PFS exposes the underlying simulated file (verification helper).
+func (f *File) PFS() *pfs.File { return f.pf }
+
+// SetView installs a file view (MPI_File_set_view): the visible bytes of
+// the file are those selected by repeating filetype starting at byte
+// displacement disp; etype is the elementary unit of offsets.
+func (f *File) SetView(disp int64, etype, filetype datatype.Type) error {
+	if disp < 0 {
+		return fmt.Errorf("mpiio: negative view displacement %d", disp)
+	}
+	if etype.Size() <= 0 || filetype.Size() <= 0 {
+		return fmt.Errorf("mpiio: empty etype or filetype")
+	}
+	if filetype.Size()%etype.Size() != 0 {
+		return fmt.Errorf("mpiio: filetype size %d not a multiple of etype size %d",
+			filetype.Size(), etype.Size())
+	}
+	f.disp = disp
+	f.etype = etype
+	f.filetype = filetype
+	f.pos = 0
+	return nil
+}
+
+// SeekTo positions the independent file pointer, in bytes of visible data.
+func (f *File) SeekTo(pos int64) error {
+	if pos < 0 {
+		return fmt.Errorf("mpiio: SeekTo(%d)", pos)
+	}
+	f.pos = pos
+	return nil
+}
+
+// flatten maps n visible bytes starting at visible offset pos into absolute
+// file runs according to the current view.
+func (f *File) flatten(pos, n int64) ([]datatype.Segment, error) {
+	if n < 0 || pos < 0 {
+		return nil, fmt.Errorf("mpiio: flatten(pos=%d, n=%d)", pos, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	ftSize := f.filetype.Size()
+	ftExtent := f.filetype.Extent()
+	segs := f.filetype.Segments()
+
+	out := make([]datatype.Segment, 0, 16)
+	// Skip whole filetype instances before pos.
+	inst := pos / ftSize
+	skip := pos % ftSize
+	remaining := n
+	for remaining > 0 {
+		base := f.disp + inst*ftExtent
+		for _, s := range segs {
+			if remaining <= 0 {
+				break
+			}
+			runOff, runLen := s.Off, s.Len
+			if skip > 0 {
+				if skip >= runLen {
+					skip -= runLen
+					continue
+				}
+				runOff += skip
+				runLen -= skip
+				skip = 0
+			}
+			if runLen > remaining {
+				runLen = remaining
+			}
+			out = append(out, datatype.Segment{Off: base + runOff, Len: runLen})
+			remaining -= runLen
+		}
+		inst++
+	}
+	return datatype.Coalesce(out), nil
+}
+
+// Write writes data independently at the current file pointer through the
+// view, advancing the pointer. This is the paper's "vanilla MPI-IO": each
+// piece is its own file system request — no aggregation, no coordination.
+func (f *File) Write(data []byte) error {
+	if err := f.WriteAt(f.pos, data); err != nil {
+		return err
+	}
+	f.pos += int64(len(data))
+	return nil
+}
+
+// WriteAt writes data independently at the given visible byte offset.
+func (f *File) WriteAt(pos int64, data []byte) error {
+	f.chargeCPU(callCPU, 1)
+	runs, err := f.flatten(pos, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	consumed := int64(0)
+	for _, r := range runs {
+		end, err := f.pf.WriteAt(f.c.Node(), r.Off, data[consumed:consumed+r.Len], f.c.Now())
+		if err != nil {
+			return err
+		}
+		f.c.AdvanceTo(end)
+		consumed += r.Len
+	}
+	return nil
+}
+
+// Read reads n visible bytes independently at the current pointer.
+func (f *File) Read(n int64) ([]byte, error) {
+	data, err := f.ReadAt(f.pos, n)
+	if err != nil {
+		return nil, err
+	}
+	f.pos += int64(len(data))
+	return data, nil
+}
+
+// ReadAt reads n visible bytes independently at the given visible offset.
+// With sieving enabled, a non-contiguous request is served by one large
+// contiguous read spanning all its runs (ROMIO's data sieving), trading
+// extra bytes on the wire for far fewer requests.
+func (f *File) ReadAt(pos, n int64) ([]byte, error) {
+	f.chargeCPU(callCPU, 1)
+	runs, err := f.flatten(pos, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if f.sieving && len(runs) > 1 {
+		lo := runs[0].Off
+		hi := runs[len(runs)-1].Off + runs[len(runs)-1].Len
+		span := make([]byte, hi-lo)
+		end, err := f.pf.ReadAt(f.c.Node(), lo, span, f.c.Now())
+		if err != nil {
+			return nil, err
+		}
+		f.c.AdvanceTo(end)
+		f.chargeCPU(runCPU, len(runs)) // in-memory filtering
+		filled := int64(0)
+		for _, r := range runs {
+			copy(out[filled:filled+r.Len], span[r.Off-lo:r.Off-lo+r.Len])
+			filled += r.Len
+		}
+		return out, nil
+	}
+	filled := int64(0)
+	for _, r := range runs {
+		end, err := f.pf.ReadAt(f.c.Node(), r.Off, out[filled:filled+r.Len], f.c.Now())
+		if err != nil {
+			return nil, err
+		}
+		f.c.AdvanceTo(end)
+		filled += r.Len
+	}
+	return out, nil
+}
+
+// Close releases the handle. The shared file object persists in the
+// simulated file system.
+func (f *File) Close() error { return nil }

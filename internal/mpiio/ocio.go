@@ -1,0 +1,401 @@
+package mpiio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/mpi"
+)
+
+// This file implements OCIO: ROMIO's generalized two-phase collective I/O
+// (paper §III.A). A collective call proceeds as:
+//
+//  1. Every rank flattens its request through its file view and the ranks
+//     agree (allreduce) on the aggregate file domain [lo, hi).
+//  2. The domain is split into equal, disjoint, contiguous file domains,
+//     one per aggregator. As in the paper's experiments, every process is
+//     an aggregator (collective buffering's aggregator sub-selection is
+//     disabled).
+//  3. Data exchange phase: each rank ships the pieces of its request to
+//     the owning aggregators with nonblocking all-to-all communication —
+//     all receives posted, then all sends, then wait. This is the traffic
+//     burst whose congestion TCIO's paced one-sided transfers avoid.
+//  4. I/O phase: each aggregator performs one large contiguous file system
+//     access for its whole domain. For writes the aggregator buffer holds
+//     the entire domain, which is why OCIO's memory footprint is roughly
+//     twice the data size (the paper's Fig. 6 discussion: at the 48 GB
+//     dataset each process needs 1.5 GB of I/O buffers and fails).
+
+// runsMessage encodes a set of absolute file runs plus (for writes) their
+// payload bytes, for the exchange phase.
+func encodeRuns(runs []datatype.Segment, payload []byte) []byte {
+	var buf bytes.Buffer
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(runs)))
+	buf.Write(hdr[:4])
+	var pair [16]byte
+	for _, r := range runs {
+		binary.LittleEndian.PutUint64(pair[:8], uint64(r.Off))
+		binary.LittleEndian.PutUint64(pair[8:], uint64(r.Len))
+		buf.Write(pair[:])
+	}
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+func decodeRuns(msg []byte) ([]datatype.Segment, []byte, error) {
+	if len(msg) < 4 {
+		return nil, nil, fmt.Errorf("mpiio: truncated exchange message (%d bytes)", len(msg))
+	}
+	n := binary.LittleEndian.Uint32(msg[:4])
+	need := 4 + int(n)*16
+	if len(msg) < need {
+		return nil, nil, fmt.Errorf("mpiio: exchange message needs %d bytes, has %d", need, len(msg))
+	}
+	runs := make([]datatype.Segment, n)
+	for i := range runs {
+		off := 4 + i*16
+		runs[i].Off = int64(binary.LittleEndian.Uint64(msg[off : off+8]))
+		runs[i].Len = int64(binary.LittleEndian.Uint64(msg[off+8 : off+16]))
+	}
+	return runs, msg[need:], nil
+}
+
+// domain describes one aggregator's contiguous file domain.
+type domain struct {
+	lo, hi int64
+}
+
+func (d domain) len() int64 { return d.hi - d.lo }
+
+// fileDomains splits [lo,hi) into p equal contiguous domains.
+func fileDomains(lo, hi int64, p int) []domain {
+	out := make([]domain, p)
+	if hi <= lo {
+		return out
+	}
+	size := (hi - lo + int64(p) - 1) / int64(p)
+	for k := 0; k < p; k++ {
+		d := domain{lo: lo + int64(k)*size, hi: lo + int64(k+1)*size}
+		if d.lo > hi {
+			d.lo = hi
+		}
+		if d.hi > hi {
+			d.hi = hi
+		}
+		out[k] = d
+	}
+	return out
+}
+
+// domainOf locates the aggregator owning byte off and clips [off, end) to
+// that aggregator's domain, returning the aggregator index and the clipped
+// end. doms must be the equal-size partition produced by fileDomains(lo,·).
+func domainOf(off, end, lo int64, doms []domain) (int, int64) {
+	size := doms[0].len()
+	k := 0
+	if size > 0 {
+		k = int((off - lo) / size)
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(doms) {
+		k = len(doms) - 1
+	}
+	if end > doms[k].hi && doms[k].hi > off {
+		end = doms[k].hi
+	}
+	return k, end
+}
+
+// splitByDomain cuts runs (sorted, absolute) at domain boundaries and
+// returns the per-aggregator pieces, preserving order.
+func splitByDomain(runs []datatype.Segment, doms []domain) [][]datatype.Segment {
+	out := make([][]datatype.Segment, len(doms))
+	if len(doms) == 0 {
+		return out
+	}
+	lo := doms[0].lo
+	for _, r := range runs {
+		for r.Len > 0 {
+			k, end := domainOf(r.Off, r.Off+r.Len, lo, doms)
+			piece := datatype.Segment{Off: r.Off, Len: end - r.Off}
+			out[k] = append(out[k], piece)
+			r.Off += piece.Len
+			r.Len -= piece.Len
+		}
+	}
+	return out
+}
+
+// aggregateDomain computes this call's [lo,hi) across all ranks.
+func (f *File) aggregateDomain(runs []datatype.Segment) (int64, int64, error) {
+	myLo, myHi := int64(math.MaxInt64), int64(0)
+	if len(runs) > 0 {
+		myLo = runs[0].Off
+		myHi = runs[len(runs)-1].Off + runs[len(runs)-1].Len
+	}
+	lo, err := f.c.AllreduceInt64(mpi.OpMin, myLo)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err := f.c.AllreduceInt64(mpi.OpMax, myHi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
+}
+
+// aggSet is the aggregator layout of one collective call: the file domains
+// and the ranks that own them. With SetAggregators(0) — the paper's setup —
+// every rank is an aggregator; otherwise the domains are dealt to a strided
+// subset of ranks, as ROMIO's collective buffering does.
+type aggSet struct {
+	doms   []domain
+	owners []int
+	mine   int // index of this rank's domain, -1 when it owns none
+}
+
+func (f *File) buildAggSet(lo, hi int64) aggSet {
+	n := f.aggregators
+	if n <= 0 || n > f.c.Size() {
+		n = f.c.Size()
+	}
+	as := aggSet{doms: fileDomains(lo, hi, n), owners: make([]int, n), mine: -1}
+	stride := f.c.Size() / n
+	if stride < 1 {
+		stride = 1
+	}
+	for k := 0; k < n; k++ {
+		as.owners[k] = k * stride
+		if as.owners[k] == f.c.Rank() {
+			as.mine = k
+		}
+	}
+	return as
+}
+
+// mineDomain returns this rank's domain, or an empty one.
+func (as aggSet) mineDomain() domain {
+	if as.mine < 0 {
+		return domain{}
+	}
+	return as.doms[as.mine]
+}
+
+// WriteAll performs a collective write of data through the view at the
+// current independent file pointer (MPI_File_write_all), advancing it.
+func (f *File) WriteAll(data []byte) error {
+	runs, err := f.flatten(f.pos, int64(len(data)))
+	if err != nil {
+		return err
+	}
+	f.pos += int64(len(data))
+
+	lo, hi, err := f.aggregateDomain(runs)
+	if err != nil {
+		return err
+	}
+	if hi <= lo {
+		return f.c.Barrier()
+	}
+	as := f.buildAggSet(lo, hi)
+	doms := as.doms
+	mine := as.mineDomain()
+
+	// Build the exchange messages: this rank's pieces and their payload
+	// bytes for every aggregator, in one pass over the runs so run order
+	// and data order stay aligned.
+	perAgg := make([][]datatype.Segment, len(doms))
+	payloadFor := make([][]byte, len(doms))
+	consumed := int64(0)
+	for _, r := range runs {
+		for r.Len > 0 {
+			k, end := domainOf(r.Off, r.Off+r.Len, lo, doms)
+			n := end - r.Off
+			perAgg[k] = append(perAgg[k], datatype.Segment{Off: r.Off, Len: n})
+			payloadFor[k] = append(payloadFor[k], data[consumed:consumed+n]...)
+			consumed += n
+			r.Off += n
+			r.Len -= n
+		}
+	}
+	send := make([][]byte, f.c.Size())
+	nRuns := 0
+	for k := range doms {
+		send[as.owners[k]] = encodeRuns(perAgg[k], payloadFor[k])
+		nRuns += len(perAgg[k])
+	}
+	f.chargeCPU(runCPU, nRuns) // origin-side pack + descriptor encode
+
+	// Data exchange phase: the nonblocking all-to-all burst.
+	recv, err := f.c.Alltoallv(send)
+	if err != nil {
+		return err
+	}
+
+	// I/O phase: assemble the domain buffer and issue one large write.
+	if mine.len() > 0 {
+		buf, err := f.c.Malloc(mine.len())
+		if err != nil {
+			return fmt.Errorf("mpiio: aggregator buffer of %d bytes: %w", mine.len(), err)
+		}
+		defer f.c.Free(buf)
+
+		// Decode all incoming pieces first to decide whether the domain is
+		// fully covered; holes force a read-modify-write preread.
+		type piece struct {
+			runs    []datatype.Segment
+			payload []byte
+		}
+		pieces := make([]piece, 0, len(recv))
+		covered := make([]datatype.Segment, 0, 64)
+		for _, msg := range recv {
+			if len(msg) == 0 {
+				continue
+			}
+			rs, payload, err := decodeRuns(msg)
+			if err != nil {
+				return err
+			}
+			pieces = append(pieces, piece{runs: rs, payload: payload})
+			covered = append(covered, rs...)
+		}
+		if !coversDomain(covered, mine) {
+			end, err := f.pf.ReadAt(f.c.Node(), mine.lo, buf, f.c.Now())
+			if err != nil {
+				return err
+			}
+			f.c.AdvanceTo(end)
+		}
+		scattered := 0
+		for _, p := range pieces {
+			at := int64(0)
+			for _, r := range p.runs {
+				copy(buf[r.Off-mine.lo:r.Off-mine.lo+r.Len], p.payload[at:at+r.Len])
+				at += r.Len
+			}
+			scattered += len(p.runs)
+		}
+		f.chargeCPU(runCPU, scattered) // aggregator-side decode + scatter
+		end, err := f.pf.WriteAt(f.c.Node(), mine.lo, buf, f.c.Now())
+		if err != nil {
+			return err
+		}
+		f.c.AdvanceTo(end)
+	}
+	return f.c.Barrier()
+}
+
+// coversDomain reports whether the union of runs covers d completely.
+func coversDomain(runs []datatype.Segment, d domain) bool {
+	merged := datatype.Coalesce(runs)
+	return len(merged) == 1 && merged[0].Off <= d.lo && merged[0].Off+merged[0].Len >= d.hi
+}
+
+// ReadAll performs a collective read of n visible bytes through the view at
+// the current pointer (MPI_File_read_all), advancing it.
+func (f *File) ReadAll(n int64) ([]byte, error) {
+	runs, err := f.flatten(f.pos, n)
+	if err != nil {
+		return nil, err
+	}
+	f.pos += n
+
+	lo, hi, err := f.aggregateDomain(runs)
+	if err != nil {
+		return nil, err
+	}
+	if hi <= lo {
+		if err := f.c.Barrier(); err != nil {
+			return nil, err
+		}
+		return make([]byte, n), nil
+	}
+	as := f.buildAggSet(lo, hi)
+	doms := as.doms
+	mine := as.mineDomain()
+
+	// Exchange phase 1 (ROMIO's ADIOI_Calc_others_req): every rank tells
+	// each aggregator which runs it needs — an all-to-all burst of request
+	// lists issued by all ranks at the same instant.
+	perAgg := splitByDomain(runs, doms)
+	req := make([][]byte, f.c.Size())
+	nRuns := 0
+	for k := range doms {
+		req[as.owners[k]] = encodeRuns(perAgg[k], nil)
+		nRuns += len(perAgg[k])
+	}
+	f.chargeCPU(runCPU, nRuns) // origin-side request encode
+	incoming, err := f.c.Alltoallv(req)
+	if err != nil {
+		return nil, err
+	}
+
+	// I/O phase: each aggregator reads its whole domain.
+	var buf []byte
+	if mine.len() > 0 {
+		buf, err = f.c.Malloc(mine.len())
+		if err != nil {
+			return nil, fmt.Errorf("mpiio: aggregator buffer of %d bytes: %w", mine.len(), err)
+		}
+		defer f.c.Free(buf)
+		end, err := f.pf.ReadAt(f.c.Node(), mine.lo, buf, f.c.Now())
+		if err != nil {
+			return nil, err
+		}
+		f.c.AdvanceTo(end)
+	}
+
+	// Exchange phase 2: aggregators answer with the requested bytes.
+	replies := make([][]byte, f.c.Size())
+	gathered := 0
+	for src, msg := range incoming {
+		if len(msg) == 0 {
+			continue // this rank aggregates nothing, or src requested nothing
+		}
+		rs, _, err := decodeRuns(msg)
+		if err != nil {
+			return nil, err
+		}
+		var payload []byte
+		for _, r := range rs {
+			payload = append(payload, buf[r.Off-mine.lo:r.Off-mine.lo+r.Len]...)
+		}
+		replies[src] = payload
+		gathered += len(rs)
+	}
+	f.chargeCPU(runCPU, gathered) // aggregator-side decode + gather
+	answers, err := f.c.Alltoallv(replies)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble this rank's data in run order from the per-aggregator
+	// answer streams.
+	out := make([]byte, n)
+	cursor := make([]int64, len(doms))
+	filled := int64(0)
+	assembled := 0
+	for _, r := range runs {
+		for r.Len > 0 {
+			k, end := domainOf(r.Off, r.Off+r.Len, lo, doms)
+			m := end - r.Off
+			copy(out[filled:filled+m], answers[as.owners[k]][cursor[k]:cursor[k]+m])
+			cursor[k] += m
+			filled += m
+			r.Off += m
+			r.Len -= m
+			assembled++
+		}
+	}
+	f.chargeCPU(runCPU, assembled) // origin-side reply assembly
+	if err := f.c.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

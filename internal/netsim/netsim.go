@@ -1,0 +1,284 @@
+// Package netsim models the cluster interconnect in virtual time.
+//
+// The model is a calibrated alpha-beta cost model with two contention
+// mechanisms layered on top:
+//
+//   - NIC serialization: each node has one egress and one ingress resource;
+//     bytes stream through them at NIC bandwidth, so a node cannot send or
+//     receive faster than its link.
+//   - Incast congestion: when many transfers target the same node's ingress
+//     within an overlapping virtual-time window (the classic all-to-all
+//     burst), the effective service time of each transfer is inflated. This
+//     reproduces the connection-storm collapse that the TCIO paper blames
+//     for OCIO's poor write throughput at 512+ processes, while TCIO's
+//     paced, one-at-a-time one-sided transfers stay in the uncongested
+//     regime.
+//
+// Message classes distinguish two-sided sends (which pay rendezvous
+// matching/setup) from one-sided RDMA puts/gets (cheaper setup, no matching),
+// mirroring the paper's §IV discussion of why TCIO uses MPI_Put/MPI_Get.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// Class describes the flavour of a transfer, which determines its setup cost.
+type Class int
+
+const (
+	// TwoSided is a matched send/receive pair (MPI_Isend/MPI_Irecv).
+	TwoSided Class = iota
+	// OneSided is an RDMA-style put or get (MPI_Put/MPI_Get).
+	OneSided
+)
+
+// String names the class for diagnostics.
+func (c Class) String() string {
+	switch c {
+	case TwoSided:
+		return "two-sided"
+	case OneSided:
+		return "one-sided"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Config holds the interconnect parameters. The defaults approximate the
+// paper's testbed: Mellanox InfiniBand, fat tree, 40 Gbit/s point-to-point.
+type Config struct {
+	// Latency is the end-to-end propagation latency per message.
+	Latency simtime.Duration
+	// SetupTwoSided is charged per two-sided message (matching, rendezvous).
+	SetupTwoSided simtime.Duration
+	// SetupOneSided is charged per one-sided message (RDMA work request).
+	SetupOneSided simtime.Duration
+	// NICBandwidth is the per-node link bandwidth in bytes/second.
+	NICBandwidth float64
+	// MemBandwidth is the intra-node copy bandwidth in bytes/second, used
+	// when source and destination ranks share a node.
+	MemBandwidth float64
+	// IncastThreshold is the number of virtual-time-overlapping inbound
+	// transfers a node tolerates before congestion sets in.
+	IncastThreshold int
+	// IncastScale divides the excess overlap before the power law is
+	// applied: penalty = 1 + ((overlap-threshold)/scale)^IncastExponent.
+	IncastScale float64
+	// IncastExponent shapes the collapse. Values above 1 make connection
+	// storms degrade superlinearly, which is what produces the paper's
+	// large-scale OCIO write falloff.
+	IncastExponent float64
+	// MaxPenalty caps the congestion multiplier.
+	MaxPenalty float64
+}
+
+// DefaultConfig returns parameters calibrated against the paper's testbed
+// (Lonestar: QDR InfiniBand fat tree, 40 Gbit/s ≈ 5 GB/s links).
+func DefaultConfig() Config {
+	return Config{
+		Latency:         2 * simtime.Microsecond,
+		SetupTwoSided:   3 * simtime.Microsecond,
+		SetupOneSided:   600 * simtime.Nanosecond,
+		NICBandwidth:    5e9,
+		MemBandwidth:    20e9,
+		IncastThreshold: 1024,
+		IncastScale:     640,
+		IncastExponent:  2.0,
+		MaxPenalty:      1e4,
+	}
+}
+
+// interval is one inbound transfer's occupancy window at a node's ingress.
+type interval struct {
+	start, end simtime.Time
+}
+
+// flowWindow tracks the transfers that overlap in virtual time at one port
+// (a node's egress or ingress). The count of concurrently open windows is
+// the port's instantaneous load: k+1 overlapping transfers each proceed at
+// 1/(k+1) of the line rate, which keeps the model work-conserving without a
+// FIFO queue (a queue ordered by call time would suffer virtual-time
+// inversions between concurrently simulated ranks and stall the job).
+type flowWindow struct {
+	mu     sync.Mutex
+	recent []interval
+}
+
+// overlapAt counts windows still open at instant t and records the new
+// window. Windows that begin after t are counted too: they belong to the
+// same burst epoch, and the port's switch state sees their connections.
+func (fw *flowWindow) overlapAt(t simtime.Time, win interval) int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	live := fw.recent[:0]
+	n := 0
+	for _, iv := range fw.recent {
+		if iv.end > t {
+			live = append(live, iv)
+			n++
+		}
+	}
+	fw.recent = append(live, win)
+	return n
+}
+
+func (fw *flowWindow) reset() {
+	fw.mu.Lock()
+	fw.recent = nil
+	fw.mu.Unlock()
+}
+
+// node is the per-node interconnect state.
+type node struct {
+	egress  flowWindow
+	ingress flowWindow
+}
+
+// Stats summarizes network activity since construction or the last Reset.
+type Stats struct {
+	Messages       int64
+	Bytes          int64
+	LocalMessages  int64
+	PeakOverlap    int64
+	CongestedMsgs  int64 // messages that paid an incast penalty
+	OneSidedMsgs   int64
+	TwoSidedMsgs   int64
+	SetupTimeTotal simtime.Duration
+}
+
+// Network is the interconnect shared by all simulated nodes.
+type Network struct {
+	cfg   Config
+	nodes []*node
+
+	messages      atomic.Int64
+	bytes         atomic.Int64
+	localMessages atomic.Int64
+	peakOverlap   atomic.Int64
+	congested     atomic.Int64
+	oneSided      atomic.Int64
+	twoSided      atomic.Int64
+	setupTotal    atomic.Int64
+}
+
+// New creates a network connecting nodeCount nodes.
+func New(nodeCount int, cfg Config) *Network {
+	if nodeCount < 1 {
+		panic("netsim: need at least one node")
+	}
+	n := &Network{cfg: cfg, nodes: make([]*node, nodeCount)}
+	for i := range n.nodes {
+		n.nodes[i] = &node{}
+	}
+	return n
+}
+
+// Config returns the network parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// NodeCount reports the number of nodes.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// Transfer moves size bytes from node src to node dst, departing at the
+// given virtual instant, and returns the arrival instant. The byte payload
+// itself is moved by the caller (the MPI layer); Transfer only accounts for
+// time. Transfer is safe for concurrent use.
+func (n *Network) Transfer(src, dst int, size int64, depart simtime.Time, class Class) simtime.Time {
+	if src < 0 || src >= len(n.nodes) || dst < 0 || dst >= len(n.nodes) {
+		panic(fmt.Sprintf("netsim: transfer %d->%d outside %d nodes", src, dst, len(n.nodes)))
+	}
+	if size < 0 {
+		size = 0
+	}
+	n.messages.Add(1)
+	n.bytes.Add(size)
+	setup := n.cfg.SetupTwoSided
+	if class == OneSided {
+		setup = n.cfg.SetupOneSided
+		n.oneSided.Add(1)
+	} else {
+		n.twoSided.Add(1)
+	}
+	n.setupTotal.Add(int64(setup))
+
+	if src == dst {
+		// Same node: a memory copy, no NIC involvement.
+		n.localMessages.Add(1)
+		return depart.Add(setup).Add(simtime.BytesDuration(size, n.cfg.MemBandwidth))
+	}
+
+	ready := depart.Add(setup)
+	wire := simtime.BytesDuration(size, n.cfg.NICBandwidth)
+
+	// Source NIC: k concurrent outbound flows share the line rate.
+	egOverlap := n.nodes[src].egress.overlapAt(ready, interval{start: ready, end: ready.Add(wire)})
+	egressDur := wire * simtime.Duration(egOverlap+1)
+
+	// Destination NIC: concurrent inbound flows share the line rate, and a
+	// connection storm beyond the threshold collapses goodput superlinearly
+	// (incast).
+	inOverlap := n.nodes[dst].ingress.overlapAt(ready, interval{start: ready, end: ready.Add(wire)})
+	if int64(inOverlap) > n.peakOverlap.Load() {
+		n.peakOverlap.Store(int64(inOverlap))
+	}
+	penalty := 1.0
+	if extra := inOverlap - n.cfg.IncastThreshold; extra > 0 {
+		scale := n.cfg.IncastScale
+		if scale <= 0 {
+			scale = 1
+		}
+		exp := n.cfg.IncastExponent
+		if exp <= 0 {
+			exp = 1
+		}
+		penalty = 1 + math.Pow(float64(extra)/scale, exp)
+		if penalty > n.cfg.MaxPenalty {
+			penalty = n.cfg.MaxPenalty
+		}
+		n.congested.Add(1)
+	}
+	ingressDur := simtime.Duration(float64(wire) * float64(inOverlap+1) * penalty)
+
+	dur := egressDur
+	if ingressDur > dur {
+		dur = ingressDur
+	}
+	return ready.Add(dur).Add(n.cfg.Latency)
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Messages:       n.messages.Load(),
+		Bytes:          n.bytes.Load(),
+		LocalMessages:  n.localMessages.Load(),
+		PeakOverlap:    n.peakOverlap.Load(),
+		CongestedMsgs:  n.congested.Load(),
+		OneSidedMsgs:   n.oneSided.Load(),
+		TwoSidedMsgs:   n.twoSided.Load(),
+		SetupTimeTotal: simtime.Duration(n.setupTotal.Load()),
+	}
+}
+
+// Reset clears all counters and resource queues so the network can be
+// reused for another experiment run.
+func (n *Network) Reset() {
+	n.messages.Store(0)
+	n.bytes.Store(0)
+	n.localMessages.Store(0)
+	n.peakOverlap.Store(0)
+	n.congested.Store(0)
+	n.oneSided.Store(0)
+	n.twoSided.Store(0)
+	n.setupTotal.Store(0)
+	for _, nd := range n.nodes {
+		nd.egress.reset()
+		nd.ingress.reset()
+	}
+}

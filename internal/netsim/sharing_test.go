@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// Tests of the overlap-sharing port model: concurrent flows divide the line
+// rate; temporally separated flows each get the full rate.
+
+func TestConcurrentFlowsShareBandwidth(t *testing.T) {
+	cfg := quietConfig()
+	net := New(3, cfg)
+	const size = 5_000_000 // 1 ms at line rate
+
+	// Two transfers into node 0 at the same virtual instant: the second
+	// observes one overlapping flow and takes ~2x the wire time.
+	a := net.Transfer(1, 0, size, 0, OneSided)
+	b := net.Transfer(2, 0, size, 0, OneSided)
+	wire := simtime.Time(simtime.Millisecond)
+	if a >= b {
+		t.Fatalf("second overlapping transfer (%v) should be slower than first (%v)", b, a)
+	}
+	if b < wire.Add(simtime.Millisecond) {
+		t.Fatalf("overlapped transfer finished at %v, faster than shared-rate bound", b)
+	}
+}
+
+func TestSeparatedFlowsFullRate(t *testing.T) {
+	cfg := quietConfig()
+	net := New(3, cfg)
+	const size = 5_000_000
+	first := net.Transfer(1, 0, size, 0, OneSided)
+	// Far in the future: no overlap, full rate again.
+	depart := simtime.Time(simtime.Second)
+	second := net.Transfer(2, 0, size, depart, OneSided)
+	d1 := first.Sub(0)
+	d2 := second.Sub(depart)
+	if d2 != d1 {
+		t.Fatalf("separated transfer cost %v, want %v", d2, d1)
+	}
+}
+
+func TestEgressSharingIndependentOfIngress(t *testing.T) {
+	cfg := quietConfig()
+	net := New(4, cfg)
+	const size = 5_000_000
+	// Two flows out of node 0 to different destinations share the egress.
+	a := net.Transfer(0, 1, size, 0, OneSided)
+	b := net.Transfer(0, 2, size, 0, OneSided)
+	if b <= a {
+		t.Fatalf("second egress flow (%v) should be slower (%v)", b, a)
+	}
+}
+
+func TestZeroByteTransferOnlyLatency(t *testing.T) {
+	cfg := quietConfig()
+	net := New(2, cfg)
+	got := net.Transfer(0, 1, 0, 0, OneSided)
+	want := simtime.Time(cfg.SetupOneSided + cfg.Latency)
+	if got != want {
+		t.Fatalf("zero-byte transfer arrives at %v, want %v", got, want)
+	}
+}
+
+func TestPeakOverlapTracked(t *testing.T) {
+	cfg := quietConfig()
+	net := New(5, cfg)
+	for src := 1; src < 5; src++ {
+		net.Transfer(src, 0, 1_000_000, 0, OneSided)
+	}
+	if got := net.Stats().PeakOverlap; got < 2 {
+		t.Fatalf("PeakOverlap = %d after a 4-flow burst", got)
+	}
+}
+
+func TestWindowPruning(t *testing.T) {
+	cfg := quietConfig()
+	net := New(2, cfg)
+	// Many temporally separated transfers must not accumulate state that
+	// penalizes later ones.
+	gap := simtime.Time(0)
+	var lastDur simtime.Duration
+	for i := 0; i < 100; i++ {
+		end := net.Transfer(0, 1, 1_000_000, gap, OneSided)
+		lastDur = end.Sub(gap)
+		gap = gap.Add(simtime.Second)
+	}
+	firstNet := New(2, cfg)
+	end := firstNet.Transfer(0, 1, 1_000_000, 0, OneSided)
+	if lastDur != end.Sub(0) {
+		t.Fatalf("100th separated transfer cost %v, first costs %v: stale window state", lastDur, end.Sub(0))
+	}
+}

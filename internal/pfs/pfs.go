@@ -1,0 +1,431 @@
+// Package pfs simulates the parallel file system of the paper's testbed:
+// Lustre with 30 object storage targets (OSTs), a 1 MB stripe size, and —
+// per the paper's §V.A — the default layout where each file lives on a
+// single OST.
+//
+// Two cost mechanisms matter for the experiments:
+//
+//   - Per-request overhead: every read/write RPC pays a fixed cost before
+//     any bytes move. Aggregated 1 MB accesses amortize it; vanilla MPI-IO's
+//     tiny per-piece accesses do not — that difference is the ~100× ART gap
+//     of Figs. 9-10.
+//   - Extent locks: Lustre grants stripe-granular locks to clients. When a
+//     stripe's lock moves between clients, a revocation round-trip is
+//     charged. Interleaved small writes from many clients ping-pong locks;
+//     segment-aligned accesses (TCIO level-2, OCIO file domains) do not.
+//
+// File contents are held in a real sparse byte store, so every experiment
+// remains byte-for-byte verifiable. Service time is charged on simulated
+// bytes (real bytes × the machine's ByteScale), letting small test buffers
+// stand in for paper-scale datasets.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// Config describes the file system hardware and protocol costs.
+type Config struct {
+	// OSTCount is the number of object storage targets (paper: 30).
+	OSTCount int
+	// StripeSize is the stripe and lock granularity in real bytes
+	// (paper: 1 MB simulated; divide by ByteScale for scaled runs).
+	StripeSize int64
+	// StripeCount is the number of OSTs a new file is striped over
+	// (paper default: 1).
+	StripeCount int
+	// WriteBandwidth is one OST's write service rate, simulated bytes/sec.
+	WriteBandwidth float64
+	// ReadBandwidth is one OST's read service rate, simulated bytes/sec
+	// (higher: server-side caching).
+	ReadBandwidth float64
+	// RequestOverhead is the fixed per-RPC cost paid by the client
+	// (round-trip latency, request marshalling).
+	RequestOverhead simtime.Duration
+	// ServerOverheadWrite is the per-write-request CPU cost on the object
+	// server, charged into the OST's service queue: many small requests
+	// consume server capacity that large aggregated requests do not.
+	ServerOverheadWrite simtime.Duration
+	// ServerOverheadRead is the per-read-request server cost. It is much
+	// smaller than the write cost: Lustre's server-side readahead and
+	// caching make repeated strided reads cheap.
+	ServerOverheadRead simtime.Duration
+	// LockRevocation is charged when a stripe's extent lock must be
+	// revoked from another client.
+	LockRevocation simtime.Duration
+	// ReadAhead is the client-side readahead window in real bytes
+	// (0 disables). A read falling entirely inside the window fetched by
+	// the client's previous read on the same file costs only CacheHit —
+	// Lustre clients prefetch aggressively on sequential access.
+	ReadAhead int64
+	// CacheHit is the cost of serving a read from the client cache.
+	CacheHit simtime.Duration
+	// ByteScale converts real bytes into simulated bytes for costing.
+	ByteScale int64
+}
+
+// DefaultConfig returns a configuration calibrated to the paper's Lustre
+// deployment (1 PB, 30 OSTs, 1 MB stripes, single-OST files).
+func DefaultConfig() Config {
+	return Config{
+		OSTCount:            30,
+		StripeSize:          1 << 20,
+		StripeCount:         1,
+		WriteBandwidth:      1.1e9,
+		ReadBandwidth:       7.5e9,
+		RequestOverhead:     400 * simtime.Microsecond,
+		ServerOverheadWrite: 600 * simtime.Microsecond,
+		ServerOverheadRead:  50 * simtime.Microsecond,
+		LockRevocation:      1500 * simtime.Microsecond,
+		ReadAhead:           1 << 20,
+		CacheHit:            30 * simtime.Microsecond,
+		ByteScale:           1,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.OSTCount < 1:
+		return fmt.Errorf("pfs: OSTCount %d", c.OSTCount)
+	case c.StripeSize < 1:
+		return fmt.Errorf("pfs: StripeSize %d", c.StripeSize)
+	case c.StripeCount < 1 || c.StripeCount > c.OSTCount:
+		return fmt.Errorf("pfs: StripeCount %d with %d OSTs", c.StripeCount, c.OSTCount)
+	case c.ByteScale < 1:
+		return fmt.Errorf("pfs: ByteScale %d", c.ByteScale)
+	}
+	return nil
+}
+
+// Stats aggregates file system activity.
+type Stats struct {
+	Reads         int64
+	Writes        int64
+	BytesRead     int64 // real bytes
+	BytesWritten  int64 // real bytes
+	LockConflicts int64
+	CacheHits     int64
+}
+
+// FileSystem is the shared simulated file system.
+type FileSystem struct {
+	cfg  Config
+	osts []*simtime.Resource
+
+	mu      sync.Mutex
+	files   map[string]*File
+	nextOST int
+
+	reads         atomic.Int64
+	writes        atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	lockConflicts atomic.Int64
+	cacheHits     atomic.Int64
+}
+
+// New creates a file system. It panics on an invalid configuration, which
+// is always a programming error in experiment setup.
+func New(cfg Config) *FileSystem {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	fs := &FileSystem{cfg: cfg, files: make(map[string]*File)}
+	fs.osts = make([]*simtime.Resource, cfg.OSTCount)
+	for i := range fs.osts {
+		fs.osts[i] = simtime.NewResource(fmt.Sprintf("ost%d", i))
+	}
+	return fs
+}
+
+// Config returns the file system parameters.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// ErrClosed is returned for operations on a closed or deleted file.
+var ErrClosed = errors.New("pfs: file closed")
+
+// Open returns the named file, creating it if needed. Files are shared:
+// all callers opening the same name operate on the same object, as MPI
+// processes opening a shared file do.
+func (fs *FileSystem) Open(name string) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[name]; ok {
+		return f
+	}
+	f := &File{
+		fs:        fs,
+		name:      name,
+		firstOST:  fs.nextOST % fs.cfg.OSTCount,
+		pages:     make(map[int64][]byte),
+		lockOwner: make(map[int64]int),
+		raWindow:  make(map[int]byteRange),
+	}
+	fs.nextOST += fs.cfg.StripeCount
+	fs.files[name] = f
+	return f
+}
+
+// Remove deletes the named file.
+func (fs *FileSystem) Remove(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, name)
+}
+
+// Stats returns a snapshot of the accumulated counters.
+func (fs *FileSystem) Stats() Stats {
+	return Stats{
+		Reads:         fs.reads.Load(),
+		Writes:        fs.writes.Load(),
+		BytesRead:     fs.bytesRead.Load(),
+		BytesWritten:  fs.bytesWritten.Load(),
+		LockConflicts: fs.lockConflicts.Load(),
+		CacheHits:     fs.cacheHits.Load(),
+	}
+}
+
+// Reset clears counters and OST queues (file contents are kept).
+func (fs *FileSystem) Reset() {
+	fs.reads.Store(0)
+	fs.writes.Store(0)
+	fs.bytesRead.Store(0)
+	fs.bytesWritten.Store(0)
+	fs.lockConflicts.Store(0)
+	fs.cacheHits.Store(0)
+	for _, r := range fs.osts {
+		r.Reset()
+	}
+}
+
+// pageSize is the granularity of the sparse backing store (real bytes).
+const pageSize = 64 << 10
+
+// File is one shared file. Methods are safe for concurrent use.
+type File struct {
+	fs       *FileSystem
+	name     string
+	firstOST int
+
+	mu        sync.Mutex
+	pages     map[int64][]byte
+	size      int64
+	lockOwner map[int64]int     // stripe index -> client (node) holding its lock
+	raWindow  map[int]byteRange // client -> readahead window [lo,hi)
+}
+
+// byteRange is a half-open byte range.
+type byteRange struct{ lo, hi int64 }
+
+// Name reports the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size reports the file's current length in real bytes.
+func (f *File) Size() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+// ostFor maps a stripe index to the OST serving it.
+func (f *File) ostFor(stripe int64) *simtime.Resource {
+	idx := (f.firstOST + int(stripe%int64(f.fs.cfg.StripeCount))) % f.fs.cfg.OSTCount
+	return f.fs.osts[idx]
+}
+
+// readAheadHit reports whether the client's read [off, off+n) is covered
+// by its readahead window, and advances the window: a miss prefetches
+// [off, off+n+ReadAhead). Writes by any client invalidate nothing here —
+// the window is a performance model, and contents are always served from
+// the authoritative store.
+func (f *File) readAheadHit(client int, off, n int64) bool {
+	ra := f.fs.cfg.ReadAhead
+	if ra <= 0 || n <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.raWindow[client]
+	if ok && off >= w.lo && off+n <= w.hi {
+		return true
+	}
+	f.raWindow[client] = byteRange{lo: off, hi: off + n + ra}
+	return false
+}
+
+// chargeAccess accounts the virtual-time cost of one contiguous request of
+// n real bytes at offset off issued by client at instant now. It returns
+// the completion time.
+func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bool) simtime.Time {
+	cfg := f.fs.cfg
+	end := now.Add(cfg.RequestOverhead)
+	if n <= 0 {
+		return end
+	}
+	bw := cfg.ReadBandwidth
+	server := cfg.ServerOverheadRead
+	if write {
+		bw = cfg.WriteBandwidth
+		server = cfg.ServerOverheadWrite
+	}
+	first := off / cfg.StripeSize
+	last := (off + n - 1) / cfg.StripeSize
+	serverCharged := false
+	for s := first; s <= last; s++ {
+		chunkStart := s * cfg.StripeSize
+		chunkEnd := chunkStart + cfg.StripeSize
+		if chunkStart < off {
+			chunkStart = off
+		}
+		if chunkEnd > off+n {
+			chunkEnd = off + n
+		}
+		simBytes := (chunkEnd - chunkStart) * cfg.ByteScale
+		dur := simtime.BytesDuration(simBytes, bw)
+		if !serverCharged {
+			// The request's server-side CPU cost lands on the OST serving
+			// its first stripe, once per request.
+			dur += server
+			serverCharged = true
+		}
+		// Extent lock: writes need the stripe lock; a change of owner
+		// costs a revocation round trip. Reads on Lustre also take locks,
+		// but read locks are shared; only writes ping-pong.
+		if write {
+			f.mu.Lock()
+			owner, held := f.lockOwner[s]
+			f.lockOwner[s] = client
+			f.mu.Unlock()
+			if held && owner != client {
+				dur += cfg.LockRevocation
+				f.fs.lockConflicts.Add(1)
+			}
+		}
+		_, e := f.ostFor(s).Acquire(now, dur)
+		if e > end {
+			end = e
+		}
+	}
+	return end.Add(cfg.RequestOverhead / 4) // completion acknowledgement
+}
+
+// WriteAt stores data at offset off on behalf of the given client (compute
+// node), departing at virtual instant now, and returns the completion time.
+func (f *File) WriteAt(client int, off int64, data []byte, now simtime.Time) (simtime.Time, error) {
+	if off < 0 {
+		return now, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	f.fs.writes.Add(1)
+	f.fs.bytesWritten.Add(int64(len(data)))
+	end := f.chargeAccess(client, off, int64(len(data)), now, true)
+	f.storeBytes(off, data)
+	return end, nil
+}
+
+// ReadAt fills dst from offset off on behalf of client. Bytes never written
+// read as zero (sparse files). It returns the completion time.
+func (f *File) ReadAt(client int, off int64, dst []byte, now simtime.Time) (simtime.Time, error) {
+	if off < 0 {
+		return now, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	f.fs.reads.Add(1)
+	f.fs.bytesRead.Add(int64(len(dst)))
+	var end simtime.Time
+	if f.readAheadHit(client, off, int64(len(dst))) {
+		f.fs.cacheHits.Add(1)
+		end = now.Add(f.fs.cfg.CacheHit)
+	} else {
+		end = f.chargeAccess(client, off, int64(len(dst)), now, false)
+	}
+	f.loadBytes(off, dst)
+	return end, nil
+}
+
+// storeBytes copies data into the sparse page store.
+func (f *File) storeBytes(off int64, data []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if end := off + int64(len(data)); end > f.size {
+		f.size = end
+	}
+	for len(data) > 0 {
+		page := off / pageSize
+		in := off % pageSize
+		n := int64(len(data))
+		if room := pageSize - in; n > room {
+			n = room
+		}
+		p, ok := f.pages[page]
+		if !ok {
+			p = make([]byte, pageSize)
+			f.pages[page] = p
+		}
+		copy(p[in:in+n], data[:n])
+		off += n
+		data = data[n:]
+	}
+}
+
+// loadBytes copies from the sparse page store, zero-filling holes.
+func (f *File) loadBytes(off int64, dst []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(dst) > 0 {
+		page := off / pageSize
+		in := off % pageSize
+		n := int64(len(dst))
+		if room := pageSize - in; n > room {
+			n = room
+		}
+		if p, ok := f.pages[page]; ok {
+			copy(dst[:n], p[in:in+n])
+		} else {
+			for i := int64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		off += n
+		dst = dst[n:]
+	}
+}
+
+// Snapshot returns the file's full contents as a dense byte slice — test
+// and verification helper, not part of the simulated I/O path.
+func (f *File) Snapshot() []byte {
+	f.mu.Lock()
+	size := f.size
+	f.mu.Unlock()
+	out := make([]byte, size)
+	f.loadBytes(0, out)
+	return out
+}
+
+// Truncate resets the file to empty (contents and lock state).
+func (f *File) Truncate() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pages = make(map[int64][]byte)
+	f.size = 0
+	f.lockOwner = make(map[int64]int)
+	f.raWindow = make(map[int]byteRange)
+}
+
+// LockOwners returns the stripes currently owned, in stripe order —
+// a test helper for asserting lock behaviour.
+func (f *File) LockOwners() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int64, 0, len(f.lockOwner))
+	for s := range f.lockOwner {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

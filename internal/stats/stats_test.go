@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+func TestThroughputMBs(t *testing.T) {
+	// 1e6 bytes in 1 second = 1 MB/s.
+	if got := ThroughputMBs(1_000_000, simtime.Second); got != 1.0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := ThroughputMBs(500_000_000, 500*simtime.Millisecond); got != 1000.0 {
+		t.Fatalf("got %v", got)
+	}
+	if ThroughputMBs(100, 0) != 0 {
+		t.Fatal("zero duration should yield 0")
+	}
+}
+
+func TestSample(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 6} {
+		s.Add(v)
+	}
+	if s.N() != 3 || s.Mean() != 4 || s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("sample stats: n=%d mean=%v min=%v max=%v", s.N(), s.Mean(), s.Min(), s.Max())
+	}
+	if sd := s.Stddev(); sd < 1.6 || sd > 1.7 {
+		t.Fatalf("stddev = %v", sd)
+	}
+	var empty Sample
+	if empty.Mean() != 0 || empty.Stddev() != 0 {
+		t.Fatal("empty sample should be zero")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{Title: "Demo", Headers: []string{"a", "long-header"}}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "2")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "a       long-header", "x       1", "longer  2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := Table{Headers: []string{"p", "mbs"}}
+	tb.AddRow("64", "123.4")
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "p,mbs\n64,123.4\n" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		2 << 10:   "2.0KB",
+		768 << 20: "768.0MB",
+		48 << 30:  "48.0GB",
+		2 << 40:   "2.0TB",
+	}
+	for n, want := range cases {
+		if got := FmtBytes(n); got != want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestFmtMBs(t *testing.T) {
+	if got := FmtMBs(123.456); got != "123.5" {
+		t.Fatalf("got %q", got)
+	}
+}

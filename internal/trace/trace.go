@@ -1,0 +1,139 @@
+// Package trace records I/O-library events on a virtual-time timeline.
+//
+// A Recorder is attached to a TCIO session (tcio.Config.Trace) to capture
+// what the library did on behalf of the application — writes staged,
+// level-1 flushes shipped, segments populated, gets fetched, buffers
+// drained — with per-rank virtual timestamps. Timelines are the raw
+// material for the kind of I/O analysis the paper performs by hand.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the I/O layers.
+const (
+	KindWrite    Kind = "write"    // application write call staged
+	KindRead     Kind = "read"     // application read call queued
+	KindFlush    Kind = "flush"    // level-1 -> level-2 shipment
+	KindFetch    Kind = "fetch"    // batched gets completed
+	KindPopulate Kind = "populate" // segment loaded from the file system
+	KindDrain    Kind = "drain"    // level-2 -> file system write
+)
+
+// Event is one recorded operation.
+type Event struct {
+	Rank   int
+	Start  simtime.Time
+	Dur    simtime.Duration
+	Kind   Kind
+	Bytes  int64
+	Detail string
+}
+
+// Recorder collects events from many ranks. It is safe for concurrent use.
+// A bounded capacity (0 = unbounded) drops the newest events once full, so
+// tracing a huge run cannot exhaust memory.
+type Recorder struct {
+	mu      sync.Mutex
+	cap     int
+	events  []Event
+	dropped int64
+}
+
+// New creates a recorder holding at most capacity events (0 = unbounded).
+func New(capacity int) *Recorder {
+	return &Recorder{cap: capacity}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cap > 0 && len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped reports how many events the capacity bound discarded.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns a copy of the retained events sorted by (Start, Rank).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// KindStats aggregates one event kind.
+type KindStats struct {
+	Count int64
+	Bytes int64
+	Dur   simtime.Duration
+}
+
+// Summary aggregates events by kind.
+func (r *Recorder) Summary() map[Kind]KindStats {
+	out := make(map[Kind]KindStats)
+	for _, ev := range r.Events() {
+		s := out[ev.Kind]
+		s.Count++
+		s.Bytes += ev.Bytes
+		s.Dur += ev.Dur
+		out[ev.Kind] = s
+	}
+	return out
+}
+
+// Timeline writes a human-readable event log sorted by virtual time.
+func (r *Recorder) Timeline(w io.Writer) error {
+	for _, ev := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%12v rank %-4d %-9s %8dB  %s\n",
+			ev.Start, ev.Rank, ev.Kind, ev.Bytes, ev.Detail); err != nil {
+			return err
+		}
+	}
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "(%d events dropped by capacity bound)\n", d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset discards all events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.events = nil
+	r.dropped = 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+func TestRecordAndEventsSorted(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Rank: 1, Start: 100, Kind: KindFlush, Bytes: 10})
+	r.Record(Event{Rank: 0, Start: 50, Kind: KindWrite, Bytes: 4})
+	r.Record(Event{Rank: 0, Start: 100, Kind: KindWrite, Bytes: 4})
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Start != 50 {
+		t.Fatalf("not sorted by time: %+v", evs[0])
+	}
+	if evs[1].Rank != 0 || evs[2].Rank != 1 {
+		t.Fatalf("ties not broken by rank: %+v %+v", evs[1], evs[2])
+	}
+}
+
+func TestCapacityBoundDrops(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Rank: i})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped = %d", r.Dropped())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New(0)
+	r.Record(Event{Kind: KindWrite, Bytes: 10, Dur: 5})
+	r.Record(Event{Kind: KindWrite, Bytes: 20, Dur: 7})
+	r.Record(Event{Kind: KindDrain, Bytes: 30, Dur: 1})
+	s := r.Summary()
+	if w := s[KindWrite]; w.Count != 2 || w.Bytes != 30 || w.Dur != 12 {
+		t.Fatalf("write stats = %+v", w)
+	}
+	if d := s[KindDrain]; d.Count != 1 || d.Bytes != 30 {
+		t.Fatalf("drain stats = %+v", d)
+	}
+}
+
+func TestTimelineOutput(t *testing.T) {
+	r := New(1)
+	r.Record(Event{Rank: 3, Start: simtime.Time(simtime.Millisecond), Kind: KindPopulate, Bytes: 512, Detail: "seg 7"})
+	r.Record(Event{Rank: 0}) // dropped
+	var buf bytes.Buffer
+	if err := r.Timeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"rank 3", "populate", "512B", "seg 7", "1 events dropped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New(1)
+	r.Record(Event{})
+	r.Record(Event{}) // dropped
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Rank: g, Start: simtime.Time(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 1600 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
