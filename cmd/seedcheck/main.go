@@ -1,0 +1,161 @@
+// Command seedcheck enforces the repository's determinism rule for tests:
+// math/rand must be used through an explicitly seeded generator
+// (rand.New(rand.NewSource(seed))), never through the package-level
+// functions whose seed varies between runs. A test that draws from the
+// global generator produces irreproducible failures — the exact class of
+// bug the fault-injection subsystem is designed to keep out.
+//
+// Usage:
+//
+//	seedcheck [dir]
+//
+// Scans every *_test.go under dir (default ".") and exits nonzero listing
+// each package-level math/rand call.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// constructors are the math/rand functions that build or feed a seeded
+// generator; calling them at package level is the rule, not a violation.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	violations, err := Check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seedcheck:", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "seedcheck: %d unseeded math/rand call(s); use rand.New(rand.NewSource(seed))\n",
+			len(violations))
+		os.Exit(1)
+	}
+}
+
+// Check scans test files under root and returns one "file:line: message"
+// per package-level math/rand call.
+func Check(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		found, err := CheckSource(path, src)
+		if err != nil {
+			return err
+		}
+		out = append(out, found...)
+		return nil
+	})
+	return out, err
+}
+
+// CheckSource reports the package-level math/rand calls in one file.
+func CheckSource(filename string, src []byte) ([]string, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the local names under which math/rand is imported (usually
+	// "rand", possibly aliased or skipped entirely).
+	randNames := map[string]bool{}
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "math/rand" {
+			continue
+		}
+		name := "rand"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		randNames[name] = true
+	}
+	if len(randNames) == 0 {
+		return nil, nil
+	}
+	// Collect identifiers shadowed by local declarations: a variable or
+	// parameter named "rand" makes rand.X a method call, not a package call.
+	// A simple per-file shadow set errs on the permissive side, which a
+	// linter that gates CI should.
+	shadowed := map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range d.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && randNames[id.Name] {
+					shadowed[id.Name] = true
+				}
+			}
+		case *ast.Field:
+			for _, id := range d.Names {
+				if randNames[id.Name] {
+					shadowed[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range d.Names {
+				if randNames[id.Name] {
+					shadowed[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	var out []string
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !randNames[pkg.Name] || shadowed[pkg.Name] {
+			return true
+		}
+		if constructors[sel.Sel.Name] {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		out = append(out, fmt.Sprintf("%s:%d: package-level %s.%s draws from the unseeded global generator",
+			pos.Filename, pos.Line, pkg.Name, sel.Sel.Name))
+		return true
+	})
+	return out, nil
+}

@@ -6,6 +6,7 @@
 //	tciobench -fig5              # write+read throughput vs process count
 //	tciobench -fig6 -fig7        # throughput vs file size (incl. OOM point)
 //	tciobench -tables            # Tables I, II, III
+//	tciobench -chaos -seed 7     # fault-injection sweep (seed-deterministic)
 //	tciobench -all               # everything
 //	tciobench -procs 64,128 -len-sim 1048576 -len-real 4096   # custom sweep
 //
@@ -32,27 +33,33 @@ func main() {
 		fig7      = flag.Bool("fig7", false, "regenerate Figure 7 (read throughput vs file size)")
 		tables    = flag.Bool("tables", false, "print Tables I, II and III")
 		ablations = flag.Bool("ablations", false, "run the TCIO design-choice ablations")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep")
 		all       = flag.Bool("all", false, "run everything")
 		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
 		lenSim    = flag.Int("len-sim", 4<<20, "simulated LENarray (elements per array per process)")
 		lenReal   = flag.Int("len-real", 4<<10, "materialized elements per array per process")
+		seed      = flag.Int64("seed", 1, "fault-injection seed for -chaos")
+		rates     = flag.String("chaos-rates", "0,0.01,0.05", "comma-separated OST transient-error rates for -chaos")
+		cprocs    = flag.Int("chaos-procs", 64, "process count for -chaos")
 		verify    = flag.Bool("verify", true, "verify every byte on read-back")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*all {
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if err := run(*fig5 || *all, *fig6 || *all, *fig7 || *all, *tables || *all,
-		*ablations || *all, *procs, *lenSim, *lenReal, *verify, *csv, *quiet); err != nil {
+		*ablations || *all, *chaos || *all, *procs, *lenSim, *lenReal,
+		*seed, *rates, *cprocs, *verify, *csv, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tciobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig5, fig6, fig7, tables, ablations bool, procsSpec string, lenSim, lenReal int, verify, csv, quiet bool) error {
+func run(fig5, fig6, fig7, tables, ablations, chaos bool, procsSpec string, lenSim, lenReal int,
+	seed int64, ratesSpec string, chaosProcs int, verify, csv, quiet bool) error {
 	emit := func(t stats.Table) error {
 		if csv {
 			fmt.Printf("# %s\n", t.Title)
@@ -138,7 +145,40 @@ func run(fig5, fig6, fig7, tables, ablations bool, procsSpec string, lenSim, len
 			return err
 		}
 	}
+
+	if chaos {
+		copts := bench.DefaultChaos()
+		copts.Seed = seed
+		copts.Procs = chaosProcs
+		copts.LenSim = lenSim
+		copts.LenReal = lenReal
+		copts.Verify = verify
+		copts.Progress = progress
+		var err error
+		if copts.Rates, err = parseRates(ratesSpec); err != nil {
+			return err
+		}
+		t, err := bench.Chaos(copts)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func parseRates(spec string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v < 0 || v > 1 {
+			return nil, fmt.Errorf("bad error rate %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parseProcs(spec string) ([]int, error) {

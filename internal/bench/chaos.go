@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/stats"
+)
+
+// This file implements the chaos ablation: the synthetic benchmark run
+// under deterministic fault injection, sweeping the OST transient-error
+// rate while the interconnect, the memory accountant, and the one-sided
+// put path misbehave at fixed background rates. Every injection decision
+// derives from the seed, so two runs with the same seed produce identical
+// injection and retry counts — the property the chaos tests pin down.
+
+// ChaosOptions configures the chaos sweep.
+type ChaosOptions struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// Procs is the process count of each run.
+	Procs int
+	// Rates lists the OST transient-error probabilities to sweep (applied
+	// to both reads and writes).
+	Rates []float64
+	// SlowProb/SlowFactor inject slow OST services: with probability
+	// SlowProb a request's service time is multiplied by SlowFactor.
+	SlowProb   float64
+	SlowFactor float64
+	// NetSetupProb drops interconnect connection setups (NIC-retried).
+	NetSetupProb float64
+	// MemProb injects transient allocation pressure.
+	MemProb float64
+	// PutDropProb drops TCIO's one-sided put work requests
+	// (library-retried).
+	PutDropProb float64
+	// LenSim and LenReal size the workload like SweepOptions.
+	LenSim  int
+	LenReal int
+	// Verify makes readers check every byte against the generator.
+	Verify bool
+	// Progress receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultChaos returns the sweep reported in EXPERIMENTS.md: 64 processes,
+// OST error rates 0 / 1% / 5%, with background interconnect, memory, and
+// put-path faults.
+func DefaultChaos() ChaosOptions {
+	return ChaosOptions{
+		Seed:         1,
+		Procs:        64,
+		Rates:        []float64{0, 0.01, 0.05},
+		SlowProb:     0.02,
+		SlowFactor:   8,
+		NetSetupProb: 0.01,
+		MemProb:      0.005,
+		PutDropProb:  0.01,
+		LenSim:       4 << 20,
+		LenReal:      4 << 10,
+		Verify:       true,
+	}
+}
+
+// ChaosInjector builds the sweep's injector for one OST error rate: the
+// rate applies to OST reads and writes, the remaining sites run at the
+// sweep's background probabilities.
+func (o ChaosOptions) ChaosInjector(rate float64) *faults.Injector {
+	return faults.New(o.Seed).
+		Set(faults.SiteOSTWrite, faults.Rule{Prob: rate}).
+		Set(faults.SiteOSTRead, faults.Rule{Prob: rate}).
+		Set(faults.SiteOSTSlow, faults.Rule{Prob: o.SlowProb, Factor: o.SlowFactor}).
+		Set(faults.SiteNetSetup, faults.Rule{Prob: o.NetSetupProb}).
+		Set(faults.SiteMemAlloc, faults.Rule{Prob: o.MemProb}).
+		Set(faults.SiteWinPut, faults.Rule{Prob: o.PutDropProb})
+}
+
+// NewChaosEnv builds a benchmark environment whose file system, network,
+// and memory accountant all inject from the given fault injector.
+func NewChaosEnv(scale int64, inj *faults.Injector) (*Env, error) {
+	env, err := NewEnv(scale)
+	if err != nil {
+		return nil, err
+	}
+	fscfg := env.FS.Config()
+	fscfg.Faults = inj
+	env.FS = pfs.New(fscfg)
+	env.Faults = inj
+	return env, nil
+}
+
+// Chaos runs TCIO and OCIO write+read under each OST error rate and
+// tabulates injection and retry counts. Only deterministic quantities are
+// reported (counts, not virtual times), so two sweeps with the same seed
+// emit byte-identical tables.
+func Chaos(opts ChaosOptions) (stats.Table, error) {
+	if len(opts.Rates) == 0 {
+		opts.Rates = DefaultChaos().Rates
+	}
+	t := stats.Table{
+		Title: fmt.Sprintf("Chaos sweep: %d processes, seed %d (counts are seed-deterministic)",
+			opts.Procs, opts.Seed),
+		Headers: []string{"ost-rate", "method", "phase", "injected", "fs-retries",
+			"setup-retries", "slow-svc", "lock-storms", "alloc-retries", "result"},
+	}
+	types := []datatype.Type{datatype.Int, datatype.Double}
+	for _, rate := range opts.Rates {
+		for _, method := range []Method{MethodTCIO, MethodOCIO} {
+			inj := opts.ChaosInjector(rate)
+			scale := int64(opts.LenSim / opts.LenReal)
+			env, err := NewChaosEnv(scale, inj)
+			if err != nil {
+				return t, err
+			}
+			cfg := SyntheticConfig{
+				Method:     method,
+				Procs:      opts.Procs,
+				TypeArray:  types,
+				LenArray:   opts.LenReal,
+				SizeAccess: 1,
+				Verify:     opts.Verify,
+				FileName:   fmt.Sprintf("chaos-%v-%d", method, int(rate*1000)),
+			}
+			for _, write := range []bool{true, false} {
+				phase := "read"
+				if write {
+					phase = "write"
+				}
+				before := inj.TotalInjected()
+				pr := runPhase(env, cfg, write)
+				result := "ok"
+				if pr.Failed {
+					result = pr.FailReason
+				}
+				t.AddRow(
+					fmt.Sprintf("%.2f", rate),
+					method.String(),
+					phase,
+					fmt.Sprintf("%d", inj.TotalInjected()-before),
+					fmt.Sprintf("%d", pr.FS.Retries),
+					fmt.Sprintf("%d", pr.Net.SetupRetries),
+					fmt.Sprintf("%d", pr.FS.SlowServices),
+					fmt.Sprintf("%d", pr.FS.LockStorms),
+					fmt.Sprintf("%d", pr.AllocRetries),
+					result,
+				)
+				if opts.Progress != nil {
+					opts.Progress(fmt.Sprintf("chaos rate=%.2f %v %s: %s (injected %d)",
+						rate, method, phase, result, inj.TotalInjected()-before))
+				}
+				if pr.Failed && write {
+					break // nothing on disk to read back
+				}
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Seed:         3,
+		Procs:        8,
+		Rates:        []float64{0.2},
+		SlowProb:     0.05,
+		SlowFactor:   4,
+		NetSetupProb: 0.02,
+		MemProb:      0.01,
+		PutDropProb:  0.02,
+		LenSim:       64 << 10,
+		LenReal:      256,
+		Verify:       true,
+	}
+}
+
+// TestChaosDeterministic pins the acceptance property of the chaos sweep:
+// same seed, same injection and retry counts, down to the last cell.
+func TestChaosDeterministic(t *testing.T) {
+	a, err := Chaos(testChaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chaos(testChaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("chaos sweep not reproducible:\nrun 1: %v\nrun 2: %v", a.Rows, b.Rows)
+	}
+	if len(a.Rows) != 4 { // TCIO/OCIO x write/read at one rate
+		t.Fatalf("rows = %d, want 4", len(a.Rows))
+	}
+	for _, row := range a.Rows {
+		if got := row[len(row)-1]; got != "ok" {
+			t.Fatalf("run %v did not survive 20%% transient faults: %s", row[:3], got)
+		}
+	}
+}
+
+// TestChaosSeedMatters checks that a different seed draws a different fault
+// pattern (the sweep is seeded, not hard-wired).
+func TestChaosSeedMatters(t *testing.T) {
+	a, err := Chaos(testChaosOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testChaosOptions()
+	opts.Seed = 4
+	b, err := Chaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatal("seeds 3 and 4 produced identical chaos tables")
+	}
+}

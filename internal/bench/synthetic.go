@@ -21,6 +21,7 @@ import (
 
 	"github.com/tcio/tcio/internal/cluster"
 	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/netsim"
 	"github.com/tcio/tcio/internal/pfs"
@@ -188,6 +189,9 @@ type Env struct {
 	Machine cluster.Machine
 	FS      *pfs.FileSystem
 	Scale   int64
+	// Faults, when non-nil, arms chaos injection across the environment's
+	// hardware for every run (see NewChaosEnv).
+	Faults *faults.Injector
 }
 
 // NewEnv builds a Lonestar-like environment with the given byte scale.
@@ -218,6 +222,9 @@ type PhaseResult struct {
 	Net        netsim.Stats
 	FS         pfs.Stats
 	PeakMemory int64 // simulated bytes, max over ranks
+	// AllocRetries counts transient allocation pressure absorbed by the
+	// runtime's backoff (chaos runs only).
+	AllocRetries int64
 }
 
 // Result is a full write+read benchmark run.
@@ -260,6 +267,7 @@ func runPhase(env *Env, cfg SyntheticConfig, write bool) PhaseResult {
 		Machine:       env.Machine,
 		FS:            env.FS,
 		EnforceMemory: true,
+		Faults:        env.Faults,
 	}, func(c *mpi.Comm) error {
 		if write {
 			return writeWorkload(c, cfg)
@@ -276,12 +284,16 @@ func runPhase(env *Env, cfg SyntheticConfig, write bool) PhaseResult {
 	pr.Net = rep.Net
 	pr.FS = rep.FS
 	pr.PeakMemory = rep.PeakMemory
+	pr.AllocRetries = rep.AllocRetries
 	return pr
 }
 
 func failReason(err error) string {
 	if errors.Is(err, cluster.ErrOutOfMemory) {
 		return "out of memory"
+	}
+	if errors.Is(err, faults.ErrExhaustedRetries) {
+		return "retries exhausted"
 	}
 	if errors.Is(err, mpi.ErrAborted) {
 		return "aborted"

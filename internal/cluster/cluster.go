@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/netsim"
 )
 
@@ -90,6 +91,7 @@ type MemTracker struct {
 	used     map[int]int64 // rank -> simulated bytes in use
 	peak     map[int]int64
 	disabled bool
+	faults   *faults.Injector
 }
 
 // NewMemTracker builds a tracker for a job of nprocs ranks on machine m.
@@ -133,11 +135,23 @@ func (t *MemTracker) PerRank() int64 {
 	return t.perRank
 }
 
+// SetFaults attaches a fault injector: allocations can then fail with
+// transient pressure (faults.SiteMemAlloc) — a neighbour's page-cache
+// spike or balloon that clears moments later. Transient failures wrap
+// faults.ErrInjected, not ErrOutOfMemory, so retry policies absorb them
+// while genuine capacity exhaustion stays permanent.
+func (t *MemTracker) SetFaults(in *faults.Injector) { t.faults = in }
+
 // Alloc charges simBytes of simulated memory to rank. It fails with an
-// error wrapping ErrOutOfMemory when the rank's share would be exceeded.
+// error wrapping ErrOutOfMemory when the rank's share would be exceeded,
+// or with a transient injected error under fault injection.
 func (t *MemTracker) Alloc(rank int, simBytes int64) error {
 	if simBytes < 0 {
 		return fmt.Errorf("cluster: negative allocation %d", simBytes)
+	}
+	if t.faults.ShouldNext(faults.SiteMemAlloc, int64(rank), 0) {
+		return fmt.Errorf("rank %d: transient allocation pressure: %w",
+			rank, t.faults.Fault(faults.SiteMemAlloc, "rank=%d sim=%dB", rank, simBytes))
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -1,0 +1,240 @@
+package integration
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"github.com/tcio/tcio/internal/cluster"
+	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/mpiio"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/tcio"
+)
+
+// chaosFS builds a small-stripe file system injecting from in.
+func chaosFS(in *faults.Injector) *pfs.FileSystem {
+	cfg := pfs.DefaultConfig()
+	cfg.StripeSize = 1 << 10
+	cfg.ReadAhead = 1 << 10
+	cfg.Faults = in
+	return pfs.New(cfg)
+}
+
+// chaosRun is run with fault injection armed across the world's hardware.
+func chaosRun(fs *pfs.FileSystem, in *faults.Injector, procs int, fn func(*mpi.Comm) error) error {
+	_, err := mpi.Run(mpi.Config{
+		Procs:   procs,
+		Machine: cluster.Lonestar(),
+		FS:      fs,
+		Faults:  in,
+	}, fn)
+	return err
+}
+
+// chaosByte is the deterministic payload generator for the chaos tests.
+func chaosByte(rank int, i int64) byte { return byte(int64(rank)*167 + i*31 + 5) }
+
+// tcioRoundTrip writes each rank's interleaved pieces through TCIO, reads
+// them back, byte-verifies, and returns the sum of Stats.Retries over all
+// ranks of both phases.
+func tcioRoundTrip(fs *pfs.FileSystem, in *faults.Injector, procs int, perRank int64, retry *faults.RetryPolicy) (int64, error) {
+	const piece = 64
+	var retries atomic.Int64
+	cfg := tcio.Config{SegmentSize: 1 << 10, NumSegments: 16, Retry: retry}
+	if err := chaosRun(fs, in, procs, func(c *mpi.Comm) error {
+		f, err := tcio.Open(c, "chaos-tcio", tcio.WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		for off := int64(0); off < perRank; off += piece {
+			var buf [piece]byte
+			for b := range buf {
+				buf[b] = chaosByte(c.Rank(), off+int64(b))
+			}
+			pos := int64(c.Rank())*piece + off*int64(c.Size())
+			if err := f.WriteAt(pos, buf[:]); err != nil {
+				return err
+			}
+		}
+		err = f.Close()
+		retries.Add(f.Stats().Retries)
+		return err
+	}); err != nil {
+		return retries.Load(), err
+	}
+	err := chaosRun(fs, in, procs, func(c *mpi.Comm) error {
+		f, err := tcio.Open(c, "chaos-tcio", tcio.ReadMode, cfg)
+		if err != nil {
+			return err
+		}
+		defer func() { retries.Add(f.Stats().Retries) }()
+		got := make([][]byte, 0, perRank/piece)
+		for off := int64(0); off < perRank; off += piece {
+			pos := int64(c.Rank())*piece + off*int64(c.Size())
+			dst := make([]byte, piece)
+			if err := f.ReadAt(pos, dst); err != nil {
+				return err
+			}
+			got = append(got, dst)
+		}
+		if err := f.Fetch(); err != nil {
+			return err
+		}
+		for k, dst := range got {
+			off := int64(k) * piece
+			for b, v := range dst {
+				if want := chaosByte(c.Rank(), off+int64(b)); v != want {
+					return fmt.Errorf("rank %d off %d byte %d: got %#x want %#x",
+						c.Rank(), off, b, v, want)
+				}
+			}
+		}
+		return f.Close()
+	})
+	return retries.Load(), err
+}
+
+// TestChaosTCIORoundTrip sweeps seeds and OST transient-error rates up to
+// the acceptance bound (5%) plus slow-server and put-drop background noise:
+// every round trip must byte-verify, and across the sweep the retry
+// machinery must actually fire.
+func TestChaosTCIORoundTrip(t *testing.T) {
+	var totalRetries, totalInjected int64
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, rate := range []float64{0.01, 0.05} {
+			in := faults.New(seed).
+				Set(faults.SiteOSTWrite, faults.Rule{Prob: rate}).
+				Set(faults.SiteOSTRead, faults.Rule{Prob: rate}).
+				Set(faults.SiteOSTSlow, faults.Rule{Prob: 0.05, Factor: 6}).
+				Set(faults.SiteWinPut, faults.Rule{Prob: 0.02})
+			retries, err := tcioRoundTrip(chaosFS(in), in, 4, 4<<10, nil)
+			if err != nil {
+				t.Fatalf("seed %d rate %v: %v", seed, rate, err)
+			}
+			totalRetries += retries
+			totalInjected += in.TotalInjected()
+		}
+	}
+	if totalInjected == 0 {
+		t.Fatal("sweep injected no faults")
+	}
+	if totalRetries == 0 {
+		t.Fatal("sweep absorbed no faults through the retry path")
+	}
+}
+
+// TestChaosTCIOBudgetExhausted pins the typed-error contract: with a zero
+// retry budget and a certain fault, the run fails with an error that
+// unwraps to both ErrExhaustedRetries and the injected cause.
+func TestChaosTCIOBudgetExhausted(t *testing.T) {
+	in := faults.New(11).Set(faults.SiteOSTWrite, faults.Rule{Prob: 1})
+	noRetry := faults.NoRetry()
+	_, err := tcioRoundTrip(chaosFS(in), in, 4, 1<<10, &noRetry)
+	if err == nil {
+		t.Fatal("round trip succeeded with every OST write failing and no retries")
+	}
+	if !errors.Is(err, faults.ErrExhaustedRetries) {
+		t.Fatalf("error does not unwrap to ErrExhaustedRetries: %v", err)
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("error does not unwrap to the injected cause: %v", err)
+	}
+}
+
+// TestChaosTCIOBudgetAbsorbs is the control for the budget test: the same
+// seed and sites with the default budget completes, because fault rolls are
+// fresh per attempt.
+func TestChaosTCIOBudgetAbsorbs(t *testing.T) {
+	in := faults.New(11).Set(faults.SiteOSTWrite, faults.Rule{Prob: 0.5})
+	retries, err := tcioRoundTrip(chaosFS(in), in, 4, 4<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retries == 0 {
+		t.Fatal("no retries at a 50% write-fault rate")
+	}
+}
+
+// TestChaosOCIORoundTrip drives OCIO's collective write+read under the same
+// fault regime: the two-phase I/O phase must retry its aggregator accesses
+// and still deliver byte-exact data.
+func TestChaosOCIORoundTrip(t *testing.T) {
+	const procs, perRank = 4, 4 << 10
+	var retries atomic.Int64
+	for seed := int64(1); seed <= 3; seed++ {
+		in := faults.New(seed).
+			Set(faults.SiteOSTWrite, faults.Rule{Prob: 0.05}).
+			Set(faults.SiteOSTRead, faults.Rule{Prob: 0.05}).
+			Set(faults.SiteNetSetup, faults.Rule{Prob: 0.01}).
+			Set(faults.SiteOSTSlow, faults.Rule{Prob: 0.05, Factor: 6})
+		fs := chaosFS(in)
+		name := fmt.Sprintf("chaos-ocio-%d", seed)
+		if err := chaosRun(fs, in, procs, func(c *mpi.Comm) error {
+			f := mpiio.Open(c, name)
+			if err := f.SetView(int64(c.Rank())*perRank, datatype.Byte, datatype.Byte); err != nil {
+				return err
+			}
+			data := make([]byte, perRank)
+			for i := range data {
+				data[i] = chaosByte(c.Rank(), int64(i))
+			}
+			if err := f.WriteAll(data); err != nil {
+				return err
+			}
+			retries.Add(f.Retries())
+			return f.Close()
+		}); err != nil {
+			t.Fatalf("seed %d write: %v", seed, err)
+		}
+		if err := chaosRun(fs, in, procs, func(c *mpi.Comm) error {
+			f := mpiio.Open(c, name)
+			if err := f.SetView(int64(c.Rank())*perRank, datatype.Byte, datatype.Byte); err != nil {
+				return err
+			}
+			got, err := f.ReadAll(perRank)
+			if err != nil {
+				return err
+			}
+			retries.Add(f.Retries())
+			for i, v := range got {
+				if want := chaosByte(c.Rank(), int64(i)); v != want {
+					return fmt.Errorf("rank %d byte %d: got %#x want %#x", c.Rank(), i, v, want)
+				}
+			}
+			return f.Close()
+		}); err != nil {
+			t.Fatalf("seed %d read: %v", seed, err)
+		}
+	}
+	if retries.Load() == 0 {
+		t.Fatal("OCIO absorbed no faults through the retry path")
+	}
+}
+
+// TestChaosDeterministicCounts runs the same seeded TCIO round trip twice
+// and demands identical per-site injection counts — the replay property the
+// whole subsystem is built around.
+func TestChaosDeterministicCounts(t *testing.T) {
+	counts := make([]string, 2)
+	for i := range counts {
+		in := faults.New(42).
+			Set(faults.SiteOSTWrite, faults.Rule{Prob: 0.1}).
+			Set(faults.SiteOSTRead, faults.Rule{Prob: 0.1}).
+			Set(faults.SiteOSTSlow, faults.Rule{Prob: 0.1, Factor: 4}).
+			Set(faults.SiteWinPut, faults.Rule{Prob: 0.05})
+		if _, err := tcioRoundTrip(chaosFS(in), in, 4, 2<<10, nil); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		counts[i] = in.CountsString()
+	}
+	if counts[0] != counts[1] {
+		t.Fatalf("same seed, different injection counts:\nrun 1: %s\nrun 2: %s", counts[0], counts[1])
+	}
+	if counts[0] == "" {
+		t.Fatal("no faults injected")
+	}
+}

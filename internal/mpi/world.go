@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tcio/tcio/internal/cluster"
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/netsim"
 	"github.com/tcio/tcio/internal/pfs"
 	"github.com/tcio/tcio/internal/simtime"
@@ -43,6 +45,14 @@ type Config struct {
 	// EnforceMemory enables the per-node simulated memory accountant.
 	// When false, allocations always succeed (most unit tests).
 	EnforceMemory bool
+	// Faults, when non-nil, arms chaos injection across the job's hardware:
+	// it is attached to the memory accountant and — unless Machine.Net
+	// already carries its own — to the interconnect. The file system keeps
+	// its own pfs.Config.Faults (callers usually share one injector).
+	Faults *faults.Injector
+	// AllocRetry overrides the retry policy Malloc/Reserve use to absorb
+	// transient allocation pressure; nil means faults.DefaultRetryPolicy.
+	AllocRetry *faults.RetryPolicy
 }
 
 // World is the shared state of one job: the network, the file system, the
@@ -53,6 +63,10 @@ type World struct {
 	net     *netsim.Network
 	fs      *pfs.FileSystem
 	mem     *cluster.MemTracker
+
+	faults       *faults.Injector
+	allocRetry   faults.RetryPolicy
+	allocRetries atomic.Int64
 
 	ranks []*rankState
 
@@ -94,6 +108,9 @@ type Report struct {
 	// PeakMemory is the largest simulated per-rank allocation high-water
 	// mark, in simulated bytes.
 	PeakMemory int64
+	// AllocRetries counts Malloc/Reserve retries that absorbed transient
+	// allocation pressure (chaos runs only).
+	AllocRetries int64
 }
 
 // Run executes fn on every rank of a fresh world and waits for completion.
@@ -151,6 +168,7 @@ func newWorld(cfg Config) (*World, error) {
 	if fs == nil {
 		fscfg := pfs.DefaultConfig()
 		fscfg.ByteScale = m.ByteScale
+		fscfg.Faults = cfg.Faults
 		fs = pfs.New(fscfg)
 	}
 	var mem *cluster.MemTracker
@@ -159,14 +177,24 @@ func newWorld(cfg Config) (*World, error) {
 	} else {
 		mem = cluster.Unlimited()
 	}
+	mem.SetFaults(cfg.Faults)
+	if cfg.Faults != nil && m.Net.Faults == nil {
+		m.Net.Faults = cfg.Faults
+	}
+	allocRetry := faults.DefaultRetryPolicy()
+	if cfg.AllocRetry != nil {
+		allocRetry = *cfg.AllocRetry
+	}
 	w := &World{
-		nprocs:  cfg.Procs,
-		machine: m,
-		net:     netsim.New(m.NodesFor(cfg.Procs), m.Net),
-		fs:      fs,
-		mem:     mem,
-		aborted: make(chan struct{}),
-		barrier: newTimeBarrier(cfg.Procs),
+		nprocs:     cfg.Procs,
+		machine:    m,
+		net:        netsim.New(m.NodesFor(cfg.Procs), m.Net),
+		fs:         fs,
+		mem:        mem,
+		faults:     cfg.Faults,
+		allocRetry: allocRetry,
+		aborted:    make(chan struct{}),
+		barrier:    newTimeBarrier(cfg.Procs),
 	}
 	w.ranks = make([]*rankState, cfg.Procs)
 	for r := range w.ranks {
@@ -212,6 +240,7 @@ func (w *World) report() Report {
 		}
 	}
 	rep.PeakMemory = w.mem.MaxPeak()
+	rep.AllocRetries = w.allocRetries.Load()
 	return rep
 }
 
@@ -230,6 +259,11 @@ func (c *Comm) Machine() cluster.Machine { return c.w.machine }
 // FS returns the shared parallel file system.
 func (c *Comm) FS() *pfs.FileSystem { return c.w.fs }
 
+// Faults returns the job's fault injector (nil when chaos is off). I/O
+// libraries consult it for sites the hardware layers cannot model
+// themselves (e.g. one-sided put drops retried by the library).
+func (c *Comm) Faults() *faults.Injector { return c.w.faults }
+
 // Now reports the rank's current virtual time.
 func (c *Comm) Now() simtime.Time { return c.clock().Now() }
 
@@ -245,12 +279,14 @@ func (c *Comm) clock() *simtime.Clock { return c.w.ranks[c.rank].clock }
 // Malloc allocates n real bytes, charging n*ByteScale simulated bytes to
 // this rank's node memory share. It fails with an error wrapping
 // cluster.ErrOutOfMemory when the share is exhausted — the mechanism behind
-// the paper's Fig. 6/7 OCIO failure at the 48 GB dataset.
+// the paper's Fig. 6/7 OCIO failure at the 48 GB dataset. Transient
+// injected allocation pressure is absorbed by the world's AllocRetry
+// policy, backing off in virtual time.
 func (c *Comm) Malloc(n int64) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("mpi: Malloc(%d)", n)
 	}
-	if err := c.w.mem.Alloc(c.rank, c.w.machine.Scale(n)); err != nil {
+	if err := c.alloc(c.w.machine.Scale(n)); err != nil {
 		return nil, err
 	}
 	return make([]byte, n), nil
@@ -260,7 +296,25 @@ func (c *Comm) Malloc(n int64) ([]byte, error) {
 // accounting structures whose real size is deliberately smaller than their
 // simulated size (for example an application's scaled-down arrays).
 func (c *Comm) Reserve(simBytes int64) error {
-	return c.w.mem.Alloc(c.rank, simBytes)
+	return c.alloc(simBytes)
+}
+
+// alloc charges simulated memory, retrying transient injected pressure
+// with the world's policy. Permanent failures (genuine OOM) pass through
+// untouched.
+func (c *Comm) alloc(simBytes int64) error {
+	pol := c.w.allocRetry
+	for attempt := 0; ; attempt++ {
+		err := c.w.mem.Alloc(c.rank, simBytes)
+		if err == nil || !faults.IsTransient(err) {
+			return err
+		}
+		if attempt >= pol.MaxRetries {
+			return faults.Exhausted(attempt, err)
+		}
+		c.clock().Advance(pol.Backoff(attempt + 1))
+		c.w.allocRetries.Add(1)
+	}
 }
 
 // Free returns the simulated memory held by buf to this rank's share.

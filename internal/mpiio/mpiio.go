@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/pfs"
 	"github.com/tcio/tcio/internal/simtime"
@@ -52,6 +53,11 @@ type File struct {
 	// classic optimization): a non-contiguous request is served by one
 	// large contiguous read spanning it, then filtered in memory.
 	sieving bool
+
+	// retry bounds how file system requests absorb transient injected
+	// faults; retries counts the absorbed faults on this handle.
+	retry   faults.RetryPolicy
+	retries int64
 }
 
 // SetAggregators restricts collective I/O to n aggregator ranks (ROMIO's
@@ -69,6 +75,38 @@ func (f *File) SetAggregators(n int) error {
 // SetSieving toggles data sieving for independent reads.
 func (f *File) SetSieving(on bool) { f.sieving = on }
 
+// SetRetryPolicy overrides the policy (default faults.DefaultRetryPolicy)
+// under which this handle's file system requests absorb transient injected
+// faults. A zero-budget policy (faults.NoRetry()) turns the first transient
+// fault into a permanent error wrapping faults.ErrExhaustedRetries.
+func (f *File) SetRetryPolicy(p faults.RetryPolicy) { f.retry = p }
+
+// Retries reports the transient faults this handle absorbed with backoff.
+func (f *File) Retries() int64 { return f.retries }
+
+// writeRetry issues one file system write under the handle's retry policy,
+// advancing the rank's clock through backoffs and the final attempt.
+func (f *File) writeRetry(off int64, data []byte) error {
+	end, retries, err := f.pf.WriteAtRetry(f.c.Node(), off, data, f.c.Now(), f.retry)
+	f.c.AdvanceTo(end)
+	f.retries += retries
+	if err != nil {
+		return fmt.Errorf("mpiio: write %d bytes at %d: %w", len(data), off, err)
+	}
+	return nil
+}
+
+// readRetry is writeRetry's read-side counterpart.
+func (f *File) readRetry(off int64, dst []byte) error {
+	end, retries, err := f.pf.ReadAtRetry(f.c.Node(), off, dst, f.c.Now(), f.retry)
+	f.c.AdvanceTo(end)
+	f.retries += retries
+	if err != nil {
+		return fmt.Errorf("mpiio: read %d bytes at %d: %w", len(dst), off, err)
+	}
+	return nil
+}
+
 // chargeCPU charges n items' worth of per-item processing cost.
 func (f *File) chargeCPU(per simtime.Duration, n int) {
 	f.c.Compute(per * simtime.Duration(n) * simtime.Duration(f.c.Machine().ByteScale))
@@ -83,6 +121,7 @@ func Open(c *mpi.Comm, name string) *File {
 		pf:       c.FS().Open(name),
 		etype:    datatype.Byte,
 		filetype: datatype.Byte,
+		retry:    faults.DefaultRetryPolicy(),
 	}
 }
 
@@ -184,11 +223,9 @@ func (f *File) WriteAt(pos int64, data []byte) error {
 	}
 	consumed := int64(0)
 	for _, r := range runs {
-		end, err := f.pf.WriteAt(f.c.Node(), r.Off, data[consumed:consumed+r.Len], f.c.Now())
-		if err != nil {
+		if err := f.writeRetry(r.Off, data[consumed:consumed+r.Len]); err != nil {
 			return err
 		}
-		f.c.AdvanceTo(end)
 		consumed += r.Len
 	}
 	return nil
@@ -219,11 +256,9 @@ func (f *File) ReadAt(pos, n int64) ([]byte, error) {
 		lo := runs[0].Off
 		hi := runs[len(runs)-1].Off + runs[len(runs)-1].Len
 		span := make([]byte, hi-lo)
-		end, err := f.pf.ReadAt(f.c.Node(), lo, span, f.c.Now())
-		if err != nil {
+		if err := f.readRetry(lo, span); err != nil {
 			return nil, err
 		}
-		f.c.AdvanceTo(end)
 		f.chargeCPU(runCPU, len(runs)) // in-memory filtering
 		filled := int64(0)
 		for _, r := range runs {
@@ -234,11 +269,9 @@ func (f *File) ReadAt(pos, n int64) ([]byte, error) {
 	}
 	filled := int64(0)
 	for _, r := range runs {
-		end, err := f.pf.ReadAt(f.c.Node(), r.Off, out[filled:filled+r.Len], f.c.Now())
-		if err != nil {
+		if err := f.readRetry(r.Off, out[filled:filled+r.Len]); err != nil {
 			return nil, err
 		}
-		f.c.AdvanceTo(end)
 		filled += r.Len
 	}
 	return out, nil

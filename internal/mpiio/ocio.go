@@ -266,11 +266,9 @@ func (f *File) WriteAll(data []byte) error {
 			covered = append(covered, rs...)
 		}
 		if !coversDomain(covered, mine) {
-			end, err := f.pf.ReadAt(f.c.Node(), mine.lo, buf, f.c.Now())
-			if err != nil {
+			if err := f.readRetry(mine.lo, buf); err != nil {
 				return err
 			}
-			f.c.AdvanceTo(end)
 		}
 		scattered := 0
 		for _, p := range pieces {
@@ -282,11 +280,9 @@ func (f *File) WriteAll(data []byte) error {
 			scattered += len(p.runs)
 		}
 		f.chargeCPU(runCPU, scattered) // aggregator-side decode + scatter
-		end, err := f.pf.WriteAt(f.c.Node(), mine.lo, buf, f.c.Now())
-		if err != nil {
+		if err := f.writeRetry(mine.lo, buf); err != nil {
 			return err
 		}
-		f.c.AdvanceTo(end)
 	}
 	return f.c.Barrier()
 }
@@ -344,11 +340,9 @@ func (f *File) ReadAll(n int64) ([]byte, error) {
 			return nil, fmt.Errorf("mpiio: aggregator buffer of %d bytes: %w", mine.len(), err)
 		}
 		defer f.c.Free(buf)
-		end, err := f.pf.ReadAt(f.c.Node(), mine.lo, buf, f.c.Now())
-		if err != nil {
+		if err := f.readRetry(mine.lo, buf); err != nil {
 			return nil, err
 		}
-		f.c.AdvanceTo(end)
 	}
 
 	// Exchange phase 2: aggregators answer with the requested bytes.

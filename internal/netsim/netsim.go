@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/simtime"
 )
 
@@ -76,6 +77,15 @@ type Config struct {
 	IncastExponent float64
 	// MaxPenalty caps the congestion multiplier.
 	MaxPenalty float64
+
+	// Faults, when non-nil, injects interconnect failures: dropped
+	// connection setups (faults.SiteNetSetup), which the NIC retries after
+	// SetupRetryDelay, and slowed transfers (SiteNetSlow), whose wire time
+	// is multiplied by the rule's Factor.
+	Faults *faults.Injector
+	// SetupRetryDelay is the virtual time burned per failed connection
+	// setup before the NIC retries. 0 means 200 µs.
+	SetupRetryDelay simtime.Duration
 }
 
 // DefaultConfig returns parameters calibrated against the paper's testbed
@@ -150,6 +160,10 @@ type Stats struct {
 	OneSidedMsgs   int64
 	TwoSidedMsgs   int64
 	SetupTimeTotal simtime.Duration
+
+	// Chaos counters (all zero without an injector).
+	SetupRetries  int64 // connection setups dropped and retried by the NIC
+	SlowTransfers int64 // transfers served under an injected slowdown
 }
 
 // Network is the interconnect shared by all simulated nodes.
@@ -165,6 +179,8 @@ type Network struct {
 	oneSided      atomic.Int64
 	twoSided      atomic.Int64
 	setupTotal    atomic.Int64
+	setupRetries  atomic.Int64
+	slowTransfers atomic.Int64
 }
 
 // New creates a network connecting nodeCount nodes.
@@ -213,8 +229,29 @@ func (n *Network) Transfer(src, dst int, size int64, depart simtime.Time, class 
 		return depart.Add(setup).Add(simtime.BytesDuration(size, n.cfg.MemBandwidth))
 	}
 
+	// Injected connection-setup drops: IB fabrics retry a failed work
+	// request in hardware after a timeout, so the failure surfaces only as
+	// burned virtual time. Bounded so a probability of 1 cannot spin.
+	if inj := n.cfg.Faults; inj.Enabled(faults.SiteNetSetup) {
+		retryDelay := n.cfg.SetupRetryDelay
+		if retryDelay <= 0 {
+			retryDelay = 200 * simtime.Microsecond
+		}
+		for tries := 0; tries < 8 && inj.ShouldNext(faults.SiteNetSetup, int64(src), int64(dst)); tries++ {
+			setup += retryDelay
+			n.setupRetries.Add(1)
+		}
+	}
+
 	ready := depart.Add(setup)
 	wire := simtime.BytesDuration(size, n.cfg.NICBandwidth)
+
+	// Injected slow transfer: a degraded link or cable serves this flow at
+	// a fraction of line rate.
+	if inj := n.cfg.Faults; inj != nil && inj.ShouldNext(faults.SiteNetSlow, int64(src), int64(dst)) {
+		wire = simtime.Duration(float64(wire) * inj.Factor(faults.SiteNetSlow))
+		n.slowTransfers.Add(1)
+	}
 
 	// Source NIC: k concurrent outbound flows share the line rate.
 	egOverlap := n.nodes[src].egress.overlapAt(ready, interval{start: ready, end: ready.Add(wire)})
@@ -263,6 +300,8 @@ func (n *Network) Stats() Stats {
 		OneSidedMsgs:   n.oneSided.Load(),
 		TwoSidedMsgs:   n.twoSided.Load(),
 		SetupTimeTotal: simtime.Duration(n.setupTotal.Load()),
+		SetupRetries:   n.setupRetries.Load(),
+		SlowTransfers:  n.slowTransfers.Load(),
 	}
 }
 
@@ -277,6 +316,8 @@ func (n *Network) Reset() {
 	n.oneSided.Store(0)
 	n.twoSided.Store(0)
 	n.setupTotal.Store(0)
+	n.setupRetries.Store(0)
+	n.slowTransfers.Store(0)
 	for _, nd := range n.nodes {
 		nd.egress.reset()
 		nd.ingress.reset()

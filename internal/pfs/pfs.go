@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/simtime"
 )
 
@@ -68,6 +69,15 @@ type Config struct {
 	CacheHit simtime.Duration
 	// ByteScale converts real bytes into simulated bytes for costing.
 	ByteScale int64
+
+	// Faults, when non-nil, injects OST failures: transient request errors
+	// (faults.SiteOSTWrite / SiteOSTRead), slow-service multipliers
+	// (SiteOSTSlow), and lock-revocation storms (SiteLockStorm).
+	Faults *faults.Injector
+	// FaultTimeout is the extra virtual time a request burns before its
+	// injected failure is detected (the client's RPC timeout). 0 means
+	// 2 ms.
+	FaultTimeout simtime.Duration
 }
 
 // DefaultConfig returns a configuration calibrated to the paper's Lustre
@@ -112,6 +122,12 @@ type Stats struct {
 	BytesWritten  int64 // real bytes
 	LockConflicts int64
 	CacheHits     int64
+
+	// Chaos counters (all zero without an injector).
+	FaultsInjected int64 // requests failed with a transient OST error
+	Retries        int64 // request retries performed through the Retry APIs
+	SlowServices   int64 // requests served under an injected slowdown
+	LockStorms     int64 // revocations amplified into storms
 }
 
 // FileSystem is the shared simulated file system.
@@ -129,6 +145,11 @@ type FileSystem struct {
 	bytesWritten  atomic.Int64
 	lockConflicts atomic.Int64
 	cacheHits     atomic.Int64
+
+	faultsInjected atomic.Int64
+	retries        atomic.Int64
+	slowServices   atomic.Int64
+	lockStorms     atomic.Int64
 }
 
 // New creates a file system. It panics on an invalid configuration, which
@@ -183,12 +204,16 @@ func (fs *FileSystem) Remove(name string) {
 // Stats returns a snapshot of the accumulated counters.
 func (fs *FileSystem) Stats() Stats {
 	return Stats{
-		Reads:         fs.reads.Load(),
-		Writes:        fs.writes.Load(),
-		BytesRead:     fs.bytesRead.Load(),
-		BytesWritten:  fs.bytesWritten.Load(),
-		LockConflicts: fs.lockConflicts.Load(),
-		CacheHits:     fs.cacheHits.Load(),
+		Reads:          fs.reads.Load(),
+		Writes:         fs.writes.Load(),
+		BytesRead:      fs.bytesRead.Load(),
+		BytesWritten:   fs.bytesWritten.Load(),
+		LockConflicts:  fs.lockConflicts.Load(),
+		CacheHits:      fs.cacheHits.Load(),
+		FaultsInjected: fs.faultsInjected.Load(),
+		Retries:        fs.retries.Load(),
+		SlowServices:   fs.slowServices.Load(),
+		LockStorms:     fs.lockStorms.Load(),
 	}
 }
 
@@ -200,9 +225,21 @@ func (fs *FileSystem) Reset() {
 	fs.bytesWritten.Store(0)
 	fs.lockConflicts.Store(0)
 	fs.cacheHits.Store(0)
+	fs.faultsInjected.Store(0)
+	fs.retries.Store(0)
+	fs.slowServices.Store(0)
+	fs.lockStorms.Store(0)
 	for _, r := range fs.osts {
 		r.Reset()
 	}
+}
+
+// faultTimeout is the configured (or default) injected-failure RPC timeout.
+func (fs *FileSystem) faultTimeout() simtime.Duration {
+	if fs.cfg.FaultTimeout > 0 {
+		return fs.cfg.FaultTimeout
+	}
+	return 2 * simtime.Millisecond
 }
 
 // pageSize is the granularity of the sparse backing store (real bytes).
@@ -262,8 +299,9 @@ func (f *File) readAheadHit(client int, off, n int64) bool {
 
 // chargeAccess accounts the virtual-time cost of one contiguous request of
 // n real bytes at offset off issued by client at instant now. It returns
-// the completion time.
-func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bool) simtime.Time {
+// the completion time. attempt distinguishes retries of the same request
+// for the fault-injection rolls.
+func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bool, attempt int64) simtime.Time {
 	cfg := f.fs.cfg
 	end := now.Add(cfg.RequestOverhead)
 	if n <= 0 {
@@ -274,6 +312,13 @@ func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bo
 	if write {
 		bw = cfg.WriteBandwidth
 		server = cfg.ServerOverheadWrite
+	}
+	// Injected slow service: one struggling OST serves this request at a
+	// fraction of its rate (disk rebuild, RAID scrub, overloaded server).
+	slow := simtime.Duration(1)
+	if cfg.Faults.Should(faults.SiteOSTSlow, int64(client), off, n, attempt) {
+		slow = simtime.Duration(cfg.Faults.Factor(faults.SiteOSTSlow))
+		f.fs.slowServices.Add(1)
 	}
 	first := off / cfg.StripeSize
 	last := (off + n - 1) / cfg.StripeSize
@@ -288,7 +333,7 @@ func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bo
 			chunkEnd = off + n
 		}
 		simBytes := (chunkEnd - chunkStart) * cfg.ByteScale
-		dur := simtime.BytesDuration(simBytes, bw)
+		dur := simtime.BytesDuration(simBytes, bw) * slow
 		if !serverCharged {
 			// The request's server-side CPU cost lands on the OST serving
 			// its first stripe, once per request.
@@ -304,8 +349,16 @@ func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bo
 			f.lockOwner[s] = client
 			f.mu.Unlock()
 			if held && owner != client {
-				dur += cfg.LockRevocation
-				f.fs.lockConflicts.Add(1)
+				revocations := simtime.Duration(1)
+				// Injected storm: the revocation cascades through the
+				// distributed lock manager's dependency chain, costing
+				// Factor round trips instead of one.
+				if cfg.Faults.Should(faults.SiteLockStorm, int64(client), s, attempt) {
+					revocations = simtime.Duration(cfg.Faults.Factor(faults.SiteLockStorm))
+					f.fs.lockStorms.Add(1)
+				}
+				dur += cfg.LockRevocation * revocations
+				f.fs.lockConflicts.Add(int64(revocations))
 			}
 		}
 		_, e := f.ostFor(s).Acquire(now, dur)
@@ -318,22 +371,50 @@ func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bo
 
 // WriteAt stores data at offset off on behalf of the given client (compute
 // node), departing at virtual instant now, and returns the completion time.
+// With fault injection enabled it can fail with a transient error (wrapping
+// faults.ErrInjected); WriteAtRetry absorbs those under a retry policy.
 func (f *File) WriteAt(client int, off int64, data []byte, now simtime.Time) (simtime.Time, error) {
+	return f.writeAt(client, off, data, now, 0)
+}
+
+func (f *File) writeAt(client int, off int64, data []byte, now simtime.Time, attempt int64) (simtime.Time, error) {
 	if off < 0 {
 		return now, fmt.Errorf("pfs: negative offset %d", off)
 	}
+	if inj := f.fs.cfg.Faults; inj.Should(faults.SiteOSTWrite, int64(client), off, int64(len(data)), attempt) {
+		f.fs.faultsInjected.Add(1)
+		// The client burns the round trip plus its RPC timeout before the
+		// failure surfaces; no bytes become durable.
+		end := now.Add(f.fs.cfg.RequestOverhead + f.fs.faultTimeout())
+		return end, fmt.Errorf("pfs: write %s: %w", f.name,
+			inj.Fault(faults.SiteOSTWrite, "client=%d off=%d len=%d", client, off, len(data)))
+	}
 	f.fs.writes.Add(1)
 	f.fs.bytesWritten.Add(int64(len(data)))
-	end := f.chargeAccess(client, off, int64(len(data)), now, true)
+	end := f.chargeAccess(client, off, int64(len(data)), now, true, attempt)
 	f.storeBytes(off, data)
 	return end, nil
 }
 
 // ReadAt fills dst from offset off on behalf of client. Bytes never written
-// read as zero (sparse files). It returns the completion time.
+// read as zero (sparse files). It returns the completion time. Like
+// WriteAt, it can fail transiently under fault injection.
 func (f *File) ReadAt(client int, off int64, dst []byte, now simtime.Time) (simtime.Time, error) {
+	return f.readAt(client, off, dst, now, 0)
+}
+
+func (f *File) readAt(client int, off int64, dst []byte, now simtime.Time, attempt int64) (simtime.Time, error) {
 	if off < 0 {
 		return now, fmt.Errorf("pfs: negative offset %d", off)
+	}
+	// The fault roll happens before the readahead check: whether a request
+	// is served from client cache depends on scheduling across the node's
+	// ranks, and fault decisions must not (determinism).
+	if inj := f.fs.cfg.Faults; inj.Should(faults.SiteOSTRead, int64(client), off, int64(len(dst)), attempt) {
+		f.fs.faultsInjected.Add(1)
+		end := now.Add(f.fs.cfg.RequestOverhead + f.fs.faultTimeout())
+		return end, fmt.Errorf("pfs: read %s: %w", f.name,
+			inj.Fault(faults.SiteOSTRead, "client=%d off=%d len=%d", client, off, len(dst)))
 	}
 	f.fs.reads.Add(1)
 	f.fs.bytesRead.Add(int64(len(dst)))
@@ -342,10 +423,52 @@ func (f *File) ReadAt(client int, off int64, dst []byte, now simtime.Time) (simt
 		f.fs.cacheHits.Add(1)
 		end = now.Add(f.fs.cfg.CacheHit)
 	} else {
-		end = f.chargeAccess(client, off, int64(len(dst)), now, false)
+		end = f.chargeAccess(client, off, int64(len(dst)), now, false, attempt)
 	}
 	f.loadBytes(off, dst)
 	return end, nil
+}
+
+// WriteAtRetry is WriteAt under a retry policy: transient injected faults
+// are absorbed with capped exponential backoff in virtual time until the
+// write succeeds, the budget is spent, or the policy's deadline passes. It
+// returns the completion time, the number of retries performed, and — on
+// exhaustion — an error wrapping both faults.ErrExhaustedRetries and the
+// final injected cause.
+func (f *File) WriteAtRetry(client int, off int64, data []byte, now simtime.Time, pol faults.RetryPolicy) (simtime.Time, int64, error) {
+	return f.retry(now, pol, func(at simtime.Time, attempt int64) (simtime.Time, error) {
+		return f.writeAt(client, off, data, at, attempt)
+	})
+}
+
+// ReadAtRetry is ReadAt under a retry policy; see WriteAtRetry.
+func (f *File) ReadAtRetry(client int, off int64, dst []byte, now simtime.Time, pol faults.RetryPolicy) (simtime.Time, int64, error) {
+	return f.retry(now, pol, func(at simtime.Time, attempt int64) (simtime.Time, error) {
+		return f.readAt(client, off, dst, at, attempt)
+	})
+}
+
+// retry drives one request through the policy's attempt loop.
+func (f *File) retry(now simtime.Time, pol faults.RetryPolicy, op func(simtime.Time, int64) (simtime.Time, error)) (simtime.Time, int64, error) {
+	start := now
+	var retries int64
+	for attempt := 0; ; attempt++ {
+		end, err := op(now, int64(attempt))
+		if err == nil || !faults.IsTransient(err) {
+			return end, retries, err
+		}
+		if attempt >= pol.MaxRetries {
+			return end, retries, faults.Exhausted(attempt, err)
+		}
+		next := end.Add(pol.Backoff(attempt + 1))
+		if pol.Deadline > 0 && next.Sub(start) > pol.Deadline {
+			return end, retries, faults.Exhausted(attempt,
+				fmt.Errorf("virtual-time deadline %v exceeded: %w", pol.Deadline, err))
+		}
+		now = next
+		retries++
+		f.fs.retries.Add(1)
+	}
 }
 
 // storeBytes copies data into the sparse page store.

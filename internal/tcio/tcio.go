@@ -37,6 +37,7 @@ import (
 	"sync"
 
 	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/netsim"
 	"github.com/tcio/tcio/internal/simtime"
@@ -111,6 +112,11 @@ type Config struct {
 	// Trace, when non-nil, records the library's operations (writes,
 	// flushes, fetches, populations, drains) with virtual timestamps.
 	Trace *trace.Recorder
+	// Retry bounds how the library absorbs transient injected faults on
+	// its file system and one-sided paths (populate, preload, drain,
+	// ship). nil means faults.DefaultRetryPolicy(); a zero-budget policy
+	// (&faults.RetryPolicy{}) turns the first transient fault permanent.
+	Retry *faults.RetryPolicy
 }
 
 // Errors returned by the library.
@@ -138,6 +144,9 @@ type Stats struct {
 	FSWrites     int64 // file system write requests at Close/drain
 	BytesWritten int64
 	BytesRead    int64
+	// Retries counts transient faults this rank absorbed with backoff
+	// across all library paths (file system RPCs and one-sided puts).
+	Retries int64
 
 	// Virtual time spent in the phases of level-1 -> level-2 shipment,
 	// for performance diagnosis and the ablation reports.
@@ -197,6 +206,7 @@ type File struct {
 	segSize  int64
 	numSeg   int
 	pieceCPU simtime.Duration // per-piece library processing cost
+	retry    faults.RetryPolicy
 
 	win  *mpi.Win
 	meta *l2meta
@@ -210,6 +220,9 @@ type File struct {
 	l1Blocks []datatype.Segment // segment-relative cached runs
 	// openOwners lists the targets with an open shared put epoch.
 	openOwners []int
+	// shipCount numbers this rank's one-sided shipments; it keys the
+	// deterministic fault rolls of the put path.
+	shipCount int64
 
 	// Lazy read queue. pendingSeg is the most recent segment touched;
 	// pendingDistinct counts the distinct segments queued, which triggers
@@ -256,6 +269,10 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if cfg.PipelineDepth < 1 {
 		return nil, fmt.Errorf("tcio: pipeline depth %d", cfg.PipelineDepth)
 	}
+	retry := faults.DefaultRetryPolicy()
+	if cfg.Retry != nil {
+		retry = *cfg.Retry
+	}
 
 	// Level-2 window memory: NumSegments segments of SegmentSize each.
 	winBuf, err := c.Malloc(int64(cfg.NumSegments) * cfg.SegmentSize)
@@ -288,6 +305,7 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 		numSeg:  cfg.NumSegments,
 		win:     win,
 		meta:    shared.(*l2meta),
+		retry:   retry,
 		l1Seg:   -1,
 		l1Buf:   l1,
 		// Each POSIX-like call costs library CPU (offset mapping, block
@@ -520,7 +538,7 @@ func (f *File) ship(seg int64, runs []datatype.Segment, payload []byte) error {
 		f.openOwners = append(f.openOwners, owner)
 	}
 	t1 := f.c.Now()
-	if err := f.win.PutSegments(owner, winRuns, payload); err != nil {
+	if err := f.putSegmentsRetry(owner, seg, winRuns, payload); err != nil {
 		return err
 	}
 	t2 := f.c.Now()
@@ -529,6 +547,45 @@ func (f *File) ship(seg int64, runs []datatype.Segment, payload []byte) error {
 	f.meta.addDirty(seg, runs)
 	f.stats.Level1Flush++
 	f.emit(trace.KindFlush, t0, int64(len(payload)), fmt.Sprintf("seg=%d owner=%d runs=%d", seg, owner, len(runs)))
+	return nil
+}
+
+// putSegmentsRetry issues one one-sided put, absorbing injected NIC
+// work-request drops (faults.SiteWinPut) with the file's retry policy. The
+// fault roll is keyed by this rank's shipment number so chaos runs replay
+// exactly; the backoff burns virtual compute time on the origin, as a real
+// sender re-posting a dropped work request would.
+func (f *File) putSegmentsRetry(owner int, seg int64, runs []datatype.Segment, payload []byte) error {
+	inj := f.c.Faults()
+	ship := f.shipCount
+	f.shipCount++
+	for attempt := 0; ; attempt++ {
+		if !inj.Should(faults.SiteWinPut, int64(f.c.Rank()), ship, int64(attempt)) {
+			return f.win.PutSegments(owner, runs, payload)
+		}
+		cause := inj.Fault(faults.SiteWinPut, "rank=%d seg=%d owner=%d", f.c.Rank(), seg, owner)
+		if attempt >= f.retry.MaxRetries {
+			return fmt.Errorf("tcio: ship segment %d to rank %d: %w",
+				seg, owner, faults.Exhausted(attempt, cause))
+		}
+		start := f.c.Now()
+		f.c.Compute(f.retry.Backoff(attempt + 1))
+		f.stats.Retries++
+		f.emit(trace.KindRetry, start, 0,
+			fmt.Sprintf("put seg=%d owner=%d attempt=%d", seg, owner, attempt+1))
+	}
+}
+
+// fsRetried folds one retried file system call into the rank's stats and
+// trace, wrapping exhaustion errors with the operation's context.
+func (f *File) fsRetried(op string, seg int64, start simtime.Time, retries int64, err error) error {
+	if retries > 0 {
+		f.stats.Retries += retries
+		f.emit(trace.KindRetry, start, 0, fmt.Sprintf("%s seg=%d retries=%d", op, seg, retries))
+	}
+	if err != nil {
+		return fmt.Errorf("tcio: %s segment %d: %w", op, seg, err)
+	}
 	return nil
 }
 
@@ -765,11 +822,12 @@ func (f *File) populate(seg int64, owner int, slot int64) error {
 		return nil
 	}
 	buf := make([]byte, n)
-	end, err := pf.ReadAt(f.c.Node(), base, buf, f.c.Now())
-	if err != nil {
+	start := f.c.Now()
+	end, retries, err := pf.ReadAtRetry(f.c.Node(), base, buf, start, f.retry)
+	f.c.AdvanceTo(end)
+	if err := f.fsRetried("populate", seg, start, retries, err); err != nil {
 		return err
 	}
-	f.c.AdvanceTo(end)
 	if err := f.win.PutSegments(owner, []datatype.Segment{{Off: slot * f.segSize, Len: n}}, buf); err != nil {
 		return err
 	}
@@ -798,11 +856,11 @@ func (f *File) preloadAll() error {
 		}
 		buf := f.win.Local()[slot*f.segSize : slot*f.segSize+n]
 		start := f.c.Now()
-		end, err := pf.ReadAt(f.c.Node(), base, buf, start)
-		if err != nil {
+		end, retries, err := pf.ReadAtRetry(f.c.Node(), base, buf, start, f.retry)
+		f.c.AdvanceTo(end)
+		if err := f.fsRetried("preload", seg, start, retries, err); err != nil {
 			return err
 		}
-		f.c.AdvanceTo(end)
 		f.meta.setPopulated(seg)
 		f.stats.Populations++
 		f.emit(trace.KindPopulate, start, n, fmt.Sprintf("seg=%d (preload)", seg))
@@ -859,11 +917,12 @@ func (f *File) drain() error {
 		base := seg * f.segSize
 		for _, r := range runs {
 			data := local[slot*f.segSize+r.Off : slot*f.segSize+r.Off+r.Len]
-			end, err := pf.WriteAt(f.c.Node(), base+r.Off, data, f.c.Now())
-			if err != nil {
+			start := f.c.Now()
+			end, retries, err := pf.WriteAtRetry(f.c.Node(), base+r.Off, data, start, f.retry)
+			f.c.AdvanceTo(end)
+			if err := f.fsRetried("drain", seg, start, retries, err); err != nil {
 				return err
 			}
-			f.c.AdvanceTo(end)
 			f.stats.FSWrites++
 			f.emit(trace.KindDrain, f.c.Now(), r.Len, fmt.Sprintf("seg=%d off=%d", seg, base+r.Off))
 		}

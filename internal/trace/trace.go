@@ -27,6 +27,7 @@ const (
 	KindFetch    Kind = "fetch"    // batched gets completed
 	KindPopulate Kind = "populate" // segment loaded from the file system
 	KindDrain    Kind = "drain"    // level-2 -> file system write
+	KindRetry    Kind = "retry"    // transient fault absorbed by backoff
 )
 
 // Event is one recorded operation.
