@@ -7,6 +7,7 @@
 //	tciobench -fig6 -fig7        # throughput vs file size (incl. OOM point)
 //	tciobench -tables            # Tables I, II, III
 //	tciobench -chaos -seed 7     # fault-injection sweep (seed-deterministic)
+//	tciobench -drainsweep        # drain fan-out vs virtual write time
 //	tciobench -all               # everything
 //	tciobench -procs 64,128 -len-sim 1048576 -len-real 4096   # custom sweep
 //
@@ -34,6 +35,7 @@ func main() {
 		tables    = flag.Bool("tables", false, "print Tables I, II and III")
 		ablations = flag.Bool("ablations", false, "run the TCIO design-choice ablations")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep")
+		dsweep    = flag.Bool("drainsweep", false, "sweep TCIO drain fan-out on a multi-OST stripe")
 		all       = flag.Bool("all", false, "run everything")
 		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
 		lenSim    = flag.Int("len-sim", 4<<20, "simulated LENarray (elements per array per process)")
@@ -41,25 +43,27 @@ func main() {
 		seed      = flag.Int64("seed", 1, "fault-injection seed for -chaos")
 		rates     = flag.String("chaos-rates", "0,0.01,0.05", "comma-separated OST transient-error rates for -chaos")
 		cprocs    = flag.Int("chaos-procs", 64, "process count for -chaos")
+		dworkers  = flag.Int("drain-workers", 0, "TCIO drain fan-out for -chaos runs (0 or 1 = serial)")
 		verify    = flag.Bool("verify", true, "verify every byte on read-back")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*all {
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
 	if err := run(*fig5 || *all, *fig6 || *all, *fig7 || *all, *tables || *all,
-		*ablations || *all, *chaos || *all, *procs, *lenSim, *lenReal,
-		*seed, *rates, *cprocs, *verify, *csv, *quiet); err != nil {
+		*ablations || *all, *chaos || *all, *dsweep || *all, *procs, *lenSim, *lenReal,
+		*seed, *rates, *cprocs, *dworkers, *verify, *csv, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tciobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig5, fig6, fig7, tables, ablations, chaos bool, procsSpec string, lenSim, lenReal int,
-	seed int64, ratesSpec string, chaosProcs int, verify, csv, quiet bool) error {
+func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep bool, procsSpec string,
+	lenSim, lenReal int, seed int64, ratesSpec string, chaosProcs, drainWorkers int,
+	verify, csv, quiet bool) error {
 	emit := func(t stats.Table) error {
 		if csv {
 			fmt.Printf("# %s\n", t.Title)
@@ -152,6 +156,7 @@ func run(fig5, fig6, fig7, tables, ablations, chaos bool, procsSpec string, lenS
 		copts.Procs = chaosProcs
 		copts.LenSim = lenSim
 		copts.LenReal = lenReal
+		copts.DrainWorkers = drainWorkers
 		copts.Verify = verify
 		copts.Progress = progress
 		var err error
@@ -159,6 +164,24 @@ func run(fig5, fig6, fig7, tables, ablations, chaos bool, procsSpec string, lenS
 			return err
 		}
 		t, err := bench.Chaos(copts)
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+
+	if drainsweep {
+		dopts := bench.DefaultDrainSweep()
+		dopts.LenSim = lenSim
+		dopts.LenReal = lenReal
+		dopts.Verify = verify
+		dopts.Progress = progress
+		if drainWorkers > 0 {
+			dopts.Workers = []int{1, drainWorkers}
+		}
+		t, err := bench.DrainSweep(dopts)
 		if err != nil {
 			return err
 		}

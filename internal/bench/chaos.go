@@ -36,6 +36,15 @@ type ChaosOptions struct {
 	// PutDropProb drops TCIO's one-sided put work requests
 	// (library-retried).
 	PutDropProb float64
+	// DrainWorkers is TCIO's per-OST drain fan-out for the sweep's runs
+	// (0 or 1 = serial). Counts stay seed-deterministic at any setting:
+	// the fan-out reorders requests across OSTs but never changes which
+	// requests are issued or how their fault rolls are keyed.
+	DrainWorkers int
+	// StripeCount overrides the file stripe width in OSTs (0 keeps the
+	// paper's single-OST striping). A multi-OST stripe gives DrainWorkers
+	// real fan-out to reorder requests across.
+	StripeCount int
 	// LenSim and LenReal size the workload like SweepOptions.
 	LenSim  int
 	LenReal int
@@ -102,7 +111,7 @@ func Chaos(opts ChaosOptions) (stats.Table, error) {
 	t := stats.Table{
 		Title: fmt.Sprintf("Chaos sweep: %d processes, seed %d (counts are seed-deterministic)",
 			opts.Procs, opts.Seed),
-		Headers: []string{"ost-rate", "method", "phase", "injected", "fs-retries",
+		Headers: []string{"ost-rate", "method", "phase", "drain-workers", "injected", "fs-retries",
 			"setup-retries", "slow-svc", "lock-storms", "alloc-retries", "result"},
 	}
 	types := []datatype.Type{datatype.Int, datatype.Double}
@@ -114,14 +123,24 @@ func Chaos(opts ChaosOptions) (stats.Table, error) {
 			if err != nil {
 				return t, err
 			}
+			if opts.StripeCount > 1 {
+				fscfg := env.FS.Config()
+				fscfg.StripeCount = opts.StripeCount
+				env.FS = pfs.New(fscfg)
+			}
 			cfg := SyntheticConfig{
-				Method:     method,
-				Procs:      opts.Procs,
-				TypeArray:  types,
-				LenArray:   opts.LenReal,
-				SizeAccess: 1,
-				Verify:     opts.Verify,
-				FileName:   fmt.Sprintf("chaos-%v-%d", method, int(rate*1000)),
+				Method:       method,
+				Procs:        opts.Procs,
+				TypeArray:    types,
+				LenArray:     opts.LenReal,
+				SizeAccess:   1,
+				Verify:       opts.Verify,
+				FileName:     fmt.Sprintf("chaos-%v-%d", method, int(rate*1000)),
+				DrainWorkers: opts.DrainWorkers,
+			}
+			workers := opts.DrainWorkers
+			if workers < 1 {
+				workers = 1
 			}
 			for _, write := range []bool{true, false} {
 				phase := "read"
@@ -138,6 +157,7 @@ func Chaos(opts ChaosOptions) (stats.Table, error) {
 					fmt.Sprintf("%.2f", rate),
 					method.String(),
 					phase,
+					fmt.Sprintf("%d", workers),
 					fmt.Sprintf("%d", inj.TotalInjected()-before),
 					fmt.Sprintf("%d", pr.FS.Retries),
 					fmt.Sprintf("%d", pr.Net.SetupRetries),

@@ -45,6 +45,35 @@ func TestChaosDeterministic(t *testing.T) {
 	}
 }
 
+// TestChaosCountsWorkerInvariant pins the determinism contract of the
+// drain fan-out: on a multi-OST stripe, every injection and retry count in
+// the chaos table is identical whether TCIO drains serially or over four
+// workers — only the reported drain-workers column may differ. Fault rolls
+// key on request identity, so reordering requests across OST lanes cannot
+// change them.
+func TestChaosCountsWorkerInvariant(t *testing.T) {
+	run := func(workers int) [][]string {
+		opts := testChaosOptions()
+		opts.StripeCount = 7 // coprime with 8 procs: segments spread over OSTs
+		opts.DrainWorkers = workers
+		tbl, err := Chaos(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const workersCol = 3
+		rows := make([][]string, len(tbl.Rows))
+		for i, row := range tbl.Rows {
+			rows[i] = append(append([]string(nil), row[:workersCol]...), row[workersCol+1:]...)
+		}
+		return rows
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("drain fan-out changed chaos counts:\nworkers=1: %v\nworkers=4: %v",
+			serial, parallel)
+	}
+}
+
 // TestChaosSeedMatters checks that a different seed draws a different fault
 // pattern (the sweep is seeded, not hard-wired).
 func TestChaosSeedMatters(t *testing.T) {

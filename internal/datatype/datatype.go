@@ -13,15 +13,16 @@ package datatype
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+
+	"github.com/tcio/tcio/internal/extent"
 )
 
-// Segment is one contiguous run of bytes within a datatype's layout.
-type Segment struct {
-	Off int64 // byte offset relative to the instance origin
-	Len int64 // run length in bytes
-}
+// Segment is one contiguous run of bytes within a datatype's layout. It is
+// an alias of extent.Extent — the repository-wide run representation — so
+// flattened layouts flow into the extent algebra and the storage layer
+// without conversion.
+type Segment = extent.Extent
 
 // Type describes a (possibly non-contiguous) byte layout.
 type Type interface {
@@ -45,7 +46,7 @@ type basic struct {
 
 func (b basic) Size() int64         { return b.width }
 func (b basic) Extent() int64       { return b.width }
-func (b basic) Segments() []Segment { return []Segment{{0, b.width}} }
+func (b basic) Segments() []Segment { return []Segment{{Off: 0, Len: b.width}} }
 func (b basic) String() string      { return b.name }
 
 // Elementary MPI types used by the paper's benchmark (Table I: c, s, i, f, d).
@@ -245,27 +246,9 @@ func Resized(t Type, extent int64) (Type, error) {
 }
 
 // Coalesce sorts segments by offset and merges adjacent or overlapping runs.
-// Zero-length runs are dropped. The input slice may be reordered.
-func Coalesce(segs []Segment) []Segment {
-	out := segs[:0]
-	for _, s := range segs {
-		if s.Len > 0 {
-			out = append(out, s)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Off < out[j].Off })
-	merged := out[:0]
-	for _, s := range out {
-		if n := len(merged); n > 0 && merged[n-1].Off+merged[n-1].Len >= s.Off {
-			if end := s.Off + s.Len; end > merged[n-1].Off+merged[n-1].Len {
-				merged[n-1].Len = end - merged[n-1].Off
-			}
-			continue
-		}
-		merged = append(merged, s)
-	}
-	return merged
-}
+// Zero-length runs are dropped. The input slice may be reordered. It is
+// extent.Coalesce under the Segment alias.
+func Coalesce(segs []Segment) []Segment { return extent.Coalesce(segs) }
 
 // Flatten expands count consecutive instances of t, starting at byte base,
 // into an absolute, coalesced segment list.

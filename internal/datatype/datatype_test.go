@@ -20,7 +20,7 @@ func TestBasicTypes(t *testing.T) {
 			t.Errorf("%s: size/extent = %d/%d, want %d", c.t, c.t.Size(), c.t.Extent(), c.size)
 		}
 		segs := c.t.Segments()
-		if len(segs) != 1 || segs[0] != (Segment{0, c.size}) {
+		if len(segs) != 1 || segs[0] != (Segment{Off: 0, Len: c.size}) {
 			t.Errorf("%s: segments = %v", c.t, segs)
 		}
 	}
@@ -52,7 +52,7 @@ func TestContiguous(t *testing.T) {
 		t.Fatalf("size/extent = %d/%d", ct.Size(), ct.Extent())
 	}
 	// Adjacent ints coalesce into one run.
-	if segs := ct.Segments(); !reflect.DeepEqual(segs, []Segment{{0, 12}}) {
+	if segs := ct.Segments(); !reflect.DeepEqual(segs, []Segment{{Off: 0, Len: 12}}) {
 		t.Fatalf("segments = %v", segs)
 	}
 	if _, err := Contiguous(-1, Int); err == nil {
@@ -75,7 +75,7 @@ func TestVectorMatchesPaperExample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Segment{{0, 12}, {24, 12}, {48, 12}}
+	want := []Segment{{Off: 0, Len: 12}, {Off: 24, Len: 12}, {Off: 48, Len: 12}}
 	if !reflect.DeepEqual(ft.Segments(), want) {
 		t.Fatalf("segments = %v, want %v", ft.Segments(), want)
 	}
@@ -110,7 +110,7 @@ func TestIndexed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Segment{{0, 8}, {16, 4}}
+	want := []Segment{{Off: 0, Len: 8}, {Off: 16, Len: 4}}
 	if !reflect.DeepEqual(it.Segments(), want) {
 		t.Fatalf("segments = %v, want %v", it.Segments(), want)
 	}
@@ -130,7 +130,7 @@ func TestHindexed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []Segment{{10, 5}, {20, 3}}
+	want := []Segment{{Off: 10, Len: 5}, {Off: 20, Len: 3}}
 	if !reflect.DeepEqual(ht.Segments(), want) {
 		t.Fatalf("segments = %v, want %v", ht.Segments(), want)
 	}
@@ -147,7 +147,7 @@ func TestHindexedMergesAdjacent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if segs := ht.Segments(); !reflect.DeepEqual(segs, []Segment{{0, 8}}) {
+	if segs := ht.Segments(); !reflect.DeepEqual(segs, []Segment{{Off: 0, Len: 8}}) {
 		t.Fatalf("adjacent blocks not merged: %v", segs)
 	}
 }
@@ -158,7 +158,7 @@ func TestStruct(t *testing.T) {
 		t.Fatal(err)
 	}
 	// double at [0,8), two ints at [8,16) -> one merged run.
-	if segs := st.Segments(); !reflect.DeepEqual(segs, []Segment{{0, 16}}) {
+	if segs := st.Segments(); !reflect.DeepEqual(segs, []Segment{{Off: 0, Len: 16}}) {
 		t.Fatalf("segments = %v", segs)
 	}
 	if st.Size() != 16 || st.Extent() != 16 {
@@ -178,7 +178,7 @@ func TestResized(t *testing.T) {
 		t.Fatalf("size/extent = %d/%d", rt.Size(), rt.Extent())
 	}
 	segs := Flatten(rt, 2, 0)
-	want := []Segment{{0, 4}, {16, 4}}
+	want := []Segment{{Off: 0, Len: 4}, {Off: 16, Len: 4}}
 	if !reflect.DeepEqual(segs, want) {
 		t.Fatalf("flatten = %v, want %v", segs, want)
 	}
@@ -188,9 +188,9 @@ func TestResized(t *testing.T) {
 }
 
 func TestCoalesce(t *testing.T) {
-	in := []Segment{{10, 5}, {0, 5}, {5, 5}, {30, 0}, {20, 3}, {21, 1}}
+	in := []Segment{{Off: 10, Len: 5}, {Off: 0, Len: 5}, {Off: 5, Len: 5}, {Off: 30, Len: 0}, {Off: 20, Len: 3}, {Off: 21, Len: 1}}
 	got := Coalesce(in)
-	want := []Segment{{0, 15}, {20, 3}}
+	want := []Segment{{Off: 0, Len: 15}, {Off: 20, Len: 3}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Coalesce = %v, want %v", got, want)
 	}
@@ -200,7 +200,7 @@ func TestFlattenBaseOffset(t *testing.T) {
 	v, _ := Vector(2, 1, 2, Int)
 	got := Flatten(v, 2, 100)
 	// instance extent = (2-1)*2*4+4 = 12; blocks at 100,108, 112,120.
-	want := []Segment{{100, 4}, {108, 8}, {120, 4}}
+	want := []Segment{{Off: 100, Len: 4}, {Off: 108, Len: 8}, {Off: 120, Len: 4}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Flatten = %v, want %v", got, want)
 	}

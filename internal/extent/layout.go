@@ -1,0 +1,63 @@
+package extent
+
+// Layout is the paper's round-robin mapping of global file offsets onto the
+// level-2 buffers of P processes (§IV.A, equations (1)-(3)):
+//
+//	rank(offset)    = (offset / SegSize) % P     (1)
+//	segment(offset) = (offset / SegSize) / P     (2)
+//	disp(offset)    =  offset % SegSize          (3)
+//
+// The file is viewed as consecutive segments of SegSize bytes; segment g is
+// owned by rank g % P and lives in that rank's local slot g / P. NumSeg
+// bounds the slots each rank exposes, so P * NumSeg * SegSize bytes of file
+// are addressable.
+type Layout struct {
+	// P is the number of processes sharing the file.
+	P int
+	// SegSize is the segment length in bytes (the file system's lock
+	// granularity in the paper's configuration).
+	SegSize int64
+	// NumSeg is the number of segments each process exposes.
+	NumSeg int
+}
+
+// Locate applies equations (1)-(3) to a file offset.
+func (l Layout) Locate(off int64) (rank int, slot, disp int64) {
+	seg := off / l.SegSize
+	return int(seg % int64(l.P)), seg / int64(l.P), off % l.SegSize
+}
+
+// Segment returns the global segment index containing the offset.
+func (l Layout) Segment(off int64) int64 { return off / l.SegSize }
+
+// Owner returns the owning rank and its local slot for a global segment.
+func (l Layout) Owner(seg int64) (rank int, slot int64) {
+	return int(seg % int64(l.P)), seg / int64(l.P)
+}
+
+// Offset inverts Locate: the file offset of displacement disp inside the
+// slot-th segment owned by rank.
+func (l Layout) Offset(rank int, slot, disp int64) int64 {
+	return (slot*int64(l.P)+int64(rank))*l.SegSize + disp
+}
+
+// SegStart returns the file offset where a global segment begins.
+func (l Layout) SegStart(seg int64) int64 { return seg * l.SegSize }
+
+// Capacity reports the total file range the layout can address.
+func (l Layout) Capacity() int64 {
+	return int64(l.P) * int64(l.NumSeg) * l.SegSize
+}
+
+// InRange reports whether a global segment maps inside the exposed slots.
+func (l Layout) InRange(seg int64) bool {
+	_, slot := l.Owner(seg)
+	return slot < int64(l.NumSeg)
+}
+
+// RankSegment returns the global segment index of the given rank's slot —
+// the iteration the drain and preload paths walk (each rank visits its own
+// slots; the segments it touches are slot*P + rank).
+func (l Layout) RankSegment(rank int, slot int64) int64 {
+	return slot*int64(l.P) + int64(rank)
+}

@@ -1,0 +1,93 @@
+package extent
+
+// Partition splits the half-open interval [Lo, Hi) into N equal contiguous
+// domains — OCIO's aggregator file domains (paper §III.A): domain k is
+// [Lo + k*size, Lo + (k+1)*size) clipped to Hi, with size = ceil((Hi-Lo)/N).
+// The zero value is an empty partition.
+type Partition struct {
+	Lo, Hi int64
+	N      int
+	size   int64
+}
+
+// NewPartition builds the equal-size partition of [lo, hi) into n domains.
+// n < 1 yields an empty partition; hi <= lo yields n empty domains.
+func NewPartition(lo, hi int64, n int) Partition {
+	p := Partition{Lo: lo, Hi: hi, N: n}
+	if n > 0 && hi > lo {
+		p.size = (hi - lo + int64(n) - 1) / int64(n)
+	}
+	return p
+}
+
+// Size reports the nominal domain length (the last domain may be shorter).
+func (p Partition) Size() int64 { return p.size }
+
+// Domain returns the k-th domain as an extent (possibly empty).
+func (p Partition) Domain(k int) Extent {
+	if p.size == 0 {
+		return Extent{Off: p.Hi}
+	}
+	lo := p.Lo + int64(k)*p.size
+	hi := lo + p.size
+	if lo > p.Hi {
+		lo = p.Hi
+	}
+	if hi > p.Hi {
+		hi = p.Hi
+	}
+	return Extent{Off: lo, Len: hi - lo}
+}
+
+// Domains materializes all N domains in order.
+func (p Partition) Domains() []Extent {
+	out := make([]Extent, p.N)
+	for k := range out {
+		out[k] = p.Domain(k)
+	}
+	return out
+}
+
+// Find returns the index of the domain owning byte off, clamped to [0, N-1].
+func (p Partition) Find(off int64) int {
+	k := 0
+	if p.size > 0 {
+		k = int((off - p.Lo) / p.size)
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k >= p.N {
+		k = p.N - 1
+	}
+	return k
+}
+
+// Clip locates the domain owning byte off and clips [off, end) to that
+// domain's upper bound, returning the domain index and the clipped end.
+func (p Partition) Clip(off, end int64) (int, int64) {
+	k := p.Find(off)
+	if hi := p.Domain(k).End(); end > hi && hi > off {
+		end = hi
+	}
+	return k, end
+}
+
+// Split cuts runs at domain boundaries and deals the pieces to their owning
+// domains, preserving order within each domain.
+func (p Partition) Split(runs []Extent) [][]Extent {
+	out := make([][]Extent, p.N)
+	if p.N == 0 {
+		return out
+	}
+	for _, r := range runs {
+		for r.Len > 0 {
+			k, end := p.Clip(r.Off, r.End())
+			piece := Extent{Off: r.Off, Len: end - r.Off}
+			out[k] = append(out[k], piece)
+			r.Off += piece.Len
+			r.Len -= piece.Len
+		}
+	}
+	return out
+}

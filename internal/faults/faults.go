@@ -401,6 +401,40 @@ func (p RetryPolicy) Backoff(attempt int) simtime.Duration {
 	return simtime.Duration(d)
 }
 
+// Retry drives one operation through the policy's attempt loop in virtual
+// time. op is called with the virtual instant at which the attempt departs
+// and the zero-based attempt number; it returns the attempt's completion
+// time and its error. Transient errors (IsTransient) are absorbed with the
+// policy's capped exponential backoff until the operation succeeds, a
+// permanent error surfaces, the retry budget is spent, or the policy's
+// deadline passes; the count of absorbed faults is returned alongside the
+// final completion time.
+//
+// This is the single retry loop shared by every layer: the file system's
+// request retries (pfs), the I/O libraries' one-sided put retries (tcio),
+// and the storage backend's extent transfers all delegate here instead of
+// keeping near-copies.
+func Retry(now simtime.Time, pol RetryPolicy, op func(at simtime.Time, attempt int64) (simtime.Time, error)) (simtime.Time, int64, error) {
+	start := now
+	var retries int64
+	for attempt := 0; ; attempt++ {
+		end, err := op(now, int64(attempt))
+		if err == nil || !IsTransient(err) {
+			return end, retries, err
+		}
+		if attempt >= pol.MaxRetries {
+			return end, retries, Exhausted(attempt, err)
+		}
+		next := end.Add(pol.Backoff(attempt + 1))
+		if pol.Deadline > 0 && next.Sub(start) > pol.Deadline {
+			return end, retries, Exhausted(attempt,
+				fmt.Errorf("virtual-time deadline %v exceeded: %w", pol.Deadline, err))
+		}
+		now = next
+		retries++
+	}
+}
+
 // ErrExhaustedRetries is the sentinel wrapped by errors returned when a
 // request's retry budget or deadline is spent. The returned error also
 // wraps the final injected cause, so callers can errors.Is against either.

@@ -167,8 +167,8 @@ func TestChaosOCIORoundTrip(t *testing.T) {
 	var retries atomic.Int64
 	for seed := int64(1); seed <= 3; seed++ {
 		in := faults.New(seed).
-			Set(faults.SiteOSTWrite, faults.Rule{Prob: 0.05}).
-			Set(faults.SiteOSTRead, faults.Rule{Prob: 0.05}).
+			Set(faults.SiteOSTWrite, faults.Rule{Prob: 0.15}).
+			Set(faults.SiteOSTRead, faults.Rule{Prob: 0.15}).
 			Set(faults.SiteNetSetup, faults.Rule{Prob: 0.01}).
 			Set(faults.SiteOSTSlow, faults.Rule{Prob: 0.05, Factor: 6})
 		fs := chaosFS(in)

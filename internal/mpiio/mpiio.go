@@ -17,6 +17,7 @@ import (
 	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/pfs"
 	"github.com/tcio/tcio/internal/simtime"
+	"github.com/tcio/tcio/internal/storage"
 )
 
 // Per-item library CPU costs, multiplied by the machine's ByteScale (a
@@ -34,8 +35,12 @@ const (
 // File is one rank's handle on a shared file. A File is not safe for
 // concurrent use; each rank owns its handle, as in MPI.
 type File struct {
-	c  *mpi.Comm
-	pf *pfs.File
+	c *mpi.Comm
+
+	// store is the file system access path: every request goes through the
+	// storage layer, which handles retry, virtual-time charging, and fault
+	// accounting in one place.
+	store *storage.Client
 
 	pos int64 // independent file pointer, in bytes past the view
 
@@ -53,11 +58,6 @@ type File struct {
 	// classic optimization): a non-contiguous request is served by one
 	// large contiguous read spanning it, then filtered in memory.
 	sieving bool
-
-	// retry bounds how file system requests absorb transient injected
-	// faults; retries counts the absorbed faults on this handle.
-	retry   faults.RetryPolicy
-	retries int64
 }
 
 // SetAggregators restricts collective I/O to n aggregator ranks (ROMIO's
@@ -79,32 +79,20 @@ func (f *File) SetSieving(on bool) { f.sieving = on }
 // under which this handle's file system requests absorb transient injected
 // faults. A zero-budget policy (faults.NoRetry()) turns the first transient
 // fault into a permanent error wrapping faults.ErrExhaustedRetries.
-func (f *File) SetRetryPolicy(p faults.RetryPolicy) { f.retry = p }
+func (f *File) SetRetryPolicy(p faults.RetryPolicy) { f.store.SetRetryPolicy(p) }
 
 // Retries reports the transient faults this handle absorbed with backoff.
-func (f *File) Retries() int64 { return f.retries }
+func (f *File) Retries() int64 { return f.store.Retries() }
 
-// writeRetry issues one file system write under the handle's retry policy,
-// advancing the rank's clock through backoffs and the final attempt.
+// writeRetry issues one file system write through the storage layer, which
+// advances the rank's clock through backoffs and the final attempt.
 func (f *File) writeRetry(off int64, data []byte) error {
-	end, retries, err := f.pf.WriteAtRetry(f.c.Node(), off, data, f.c.Now(), f.retry)
-	f.c.AdvanceTo(end)
-	f.retries += retries
-	if err != nil {
-		return fmt.Errorf("mpiio: write %d bytes at %d: %w", len(data), off, err)
-	}
-	return nil
+	return f.store.WriteAt("mpiio: write", off, data)
 }
 
 // readRetry is writeRetry's read-side counterpart.
 func (f *File) readRetry(off int64, dst []byte) error {
-	end, retries, err := f.pf.ReadAtRetry(f.c.Node(), off, dst, f.c.Now(), f.retry)
-	f.c.AdvanceTo(end)
-	f.retries += retries
-	if err != nil {
-		return fmt.Errorf("mpiio: read %d bytes at %d: %w", len(dst), off, err)
-	}
-	return nil
+	return f.store.ReadAt("mpiio: read", off, dst)
 }
 
 // chargeCPU charges n items' worth of per-item processing cost.
@@ -118,15 +106,14 @@ func (f *File) chargeCPU(per simtime.Duration, n int) {
 func Open(c *mpi.Comm, name string) *File {
 	return &File{
 		c:        c,
-		pf:       c.FS().Open(name),
+		store:    storage.NewClient(c.FS().Open(name), c.Node(), c.Rank(), c),
 		etype:    datatype.Byte,
 		filetype: datatype.Byte,
-		retry:    faults.DefaultRetryPolicy(),
 	}
 }
 
 // PFS exposes the underlying simulated file (verification helper).
-func (f *File) PFS() *pfs.File { return f.pf }
+func (f *File) PFS() *pfs.File { return f.store.File() }
 
 // SetView installs a file view (MPI_File_set_view): the visible bytes of
 // the file are those selected by repeating filetype starting at byte

@@ -11,6 +11,7 @@ import (
 
 	"github.com/tcio/tcio/internal/cluster"
 	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/mpi"
 )
 
@@ -398,31 +399,31 @@ func TestRandomInterleavedCollectiveRoundTrip(t *testing.T) {
 }
 
 func TestFileDomains(t *testing.T) {
-	doms := fileDomains(100, 200, 4)
-	want := []domain{{100, 125}, {125, 150}, {150, 175}, {175, 200}}
-	if !reflect.DeepEqual(doms, want) {
-		t.Fatalf("fileDomains = %v", doms)
+	p := extent.NewPartition(100, 200, 4)
+	want := []extent.Extent{{Off: 100, Len: 25}, {Off: 125, Len: 25}, {Off: 150, Len: 25}, {Off: 175, Len: 25}}
+	if doms := p.Domains(); !reflect.DeepEqual(doms, want) {
+		t.Fatalf("Domains = %v", doms)
 	}
 	// Non-divisible: last domain clipped.
-	doms = fileDomains(0, 10, 3)
-	if doms[2].hi != 10 || doms[0].len() != 4 {
-		t.Fatalf("fileDomains = %v", doms)
+	p = extent.NewPartition(0, 10, 3)
+	if doms := p.Domains(); doms[2].End() != 10 || doms[0].Len != 4 {
+		t.Fatalf("Domains = %v", doms)
 	}
 	// Empty domain.
-	doms = fileDomains(5, 5, 2)
-	if doms[0].len() != 0 || doms[1].len() != 0 {
-		t.Fatalf("fileDomains = %v", doms)
+	p = extent.NewPartition(5, 5, 2)
+	if doms := p.Domains(); doms[0].Len != 0 || doms[1].Len != 0 {
+		t.Fatalf("Domains = %v", doms)
 	}
 }
 
 func TestSplitByDomain(t *testing.T) {
-	doms := fileDomains(0, 100, 2)
+	p := extent.NewPartition(0, 100, 2)
 	runs := []datatype.Segment{{Off: 40, Len: 20}} // spans the boundary at 50
-	parts := splitByDomain(runs, doms)
-	if !reflect.DeepEqual(parts[0], []datatype.Segment{{Off: 40, Len: 10}}) {
+	parts := p.Split(runs)
+	if !reflect.DeepEqual(parts[0], []extent.Extent{{Off: 40, Len: 10}}) {
 		t.Fatalf("parts[0] = %v", parts[0])
 	}
-	if !reflect.DeepEqual(parts[1], []datatype.Segment{{Off: 50, Len: 10}}) {
+	if !reflect.DeepEqual(parts[1], []extent.Extent{{Off: 50, Len: 10}}) {
 		t.Fatalf("parts[1] = %v", parts[1])
 	}
 }
@@ -447,14 +448,13 @@ func TestEncodeDecodeRuns(t *testing.T) {
 }
 
 func TestCoversDomain(t *testing.T) {
-	d := domain{10, 30}
-	if !coversDomain([]datatype.Segment{{Off: 10, Len: 10}, {Off: 20, Len: 10}}, d) {
+	if !extent.Covers([]datatype.Segment{{Off: 10, Len: 10}, {Off: 20, Len: 10}}, 10, 30) {
 		t.Fatal("full coverage not detected")
 	}
-	if coversDomain([]datatype.Segment{{Off: 10, Len: 5}, {Off: 20, Len: 10}}, d) {
+	if extent.Covers([]datatype.Segment{{Off: 10, Len: 5}, {Off: 20, Len: 10}}, 10, 30) {
 		t.Fatal("hole not detected")
 	}
-	if coversDomain(nil, d) {
+	if extent.Covers(nil, 10, 30) {
 		t.Fatal("empty coverage accepted")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/mpi"
 )
 
@@ -64,74 +65,6 @@ func decodeRuns(msg []byte) ([]datatype.Segment, []byte, error) {
 	return runs, msg[need:], nil
 }
 
-// domain describes one aggregator's contiguous file domain.
-type domain struct {
-	lo, hi int64
-}
-
-func (d domain) len() int64 { return d.hi - d.lo }
-
-// fileDomains splits [lo,hi) into p equal contiguous domains.
-func fileDomains(lo, hi int64, p int) []domain {
-	out := make([]domain, p)
-	if hi <= lo {
-		return out
-	}
-	size := (hi - lo + int64(p) - 1) / int64(p)
-	for k := 0; k < p; k++ {
-		d := domain{lo: lo + int64(k)*size, hi: lo + int64(k+1)*size}
-		if d.lo > hi {
-			d.lo = hi
-		}
-		if d.hi > hi {
-			d.hi = hi
-		}
-		out[k] = d
-	}
-	return out
-}
-
-// domainOf locates the aggregator owning byte off and clips [off, end) to
-// that aggregator's domain, returning the aggregator index and the clipped
-// end. doms must be the equal-size partition produced by fileDomains(lo,·).
-func domainOf(off, end, lo int64, doms []domain) (int, int64) {
-	size := doms[0].len()
-	k := 0
-	if size > 0 {
-		k = int((off - lo) / size)
-	}
-	if k < 0 {
-		k = 0
-	}
-	if k >= len(doms) {
-		k = len(doms) - 1
-	}
-	if end > doms[k].hi && doms[k].hi > off {
-		end = doms[k].hi
-	}
-	return k, end
-}
-
-// splitByDomain cuts runs (sorted, absolute) at domain boundaries and
-// returns the per-aggregator pieces, preserving order.
-func splitByDomain(runs []datatype.Segment, doms []domain) [][]datatype.Segment {
-	out := make([][]datatype.Segment, len(doms))
-	if len(doms) == 0 {
-		return out
-	}
-	lo := doms[0].lo
-	for _, r := range runs {
-		for r.Len > 0 {
-			k, end := domainOf(r.Off, r.Off+r.Len, lo, doms)
-			piece := datatype.Segment{Off: r.Off, Len: end - r.Off}
-			out[k] = append(out[k], piece)
-			r.Off += piece.Len
-			r.Len -= piece.Len
-		}
-	}
-	return out
-}
-
 // aggregateDomain computes this call's [lo,hi) across all ranks.
 func (f *File) aggregateDomain(runs []datatype.Segment) (int64, int64, error) {
 	myLo, myHi := int64(math.MaxInt64), int64(0)
@@ -150,12 +83,13 @@ func (f *File) aggregateDomain(runs []datatype.Segment) (int64, int64, error) {
 	return lo, hi, nil
 }
 
-// aggSet is the aggregator layout of one collective call: the file domains
+// aggSet is the aggregator layout of one collective call: the equal-size
+// partition of the aggregate domain into file domains (extent.Partition)
 // and the ranks that own them. With SetAggregators(0) — the paper's setup —
 // every rank is an aggregator; otherwise the domains are dealt to a strided
 // subset of ranks, as ROMIO's collective buffering does.
 type aggSet struct {
-	doms   []domain
+	part   extent.Partition
 	owners []int
 	mine   int // index of this rank's domain, -1 when it owns none
 }
@@ -165,7 +99,7 @@ func (f *File) buildAggSet(lo, hi int64) aggSet {
 	if n <= 0 || n > f.c.Size() {
 		n = f.c.Size()
 	}
-	as := aggSet{doms: fileDomains(lo, hi, n), owners: make([]int, n), mine: -1}
+	as := aggSet{part: extent.NewPartition(lo, hi, n), owners: make([]int, n), mine: -1}
 	stride := f.c.Size() / n
 	if stride < 1 {
 		stride = 1
@@ -179,12 +113,12 @@ func (f *File) buildAggSet(lo, hi int64) aggSet {
 	return as
 }
 
-// mineDomain returns this rank's domain, or an empty one.
-func (as aggSet) mineDomain() domain {
+// mineDomain returns this rank's file domain, or an empty extent.
+func (as aggSet) mineDomain() extent.Extent {
 	if as.mine < 0 {
-		return domain{}
+		return extent.Extent{}
 	}
-	return as.doms[as.mine]
+	return as.part.Domain(as.mine)
 }
 
 // WriteAll performs a collective write of data through the view at the
@@ -204,18 +138,17 @@ func (f *File) WriteAll(data []byte) error {
 		return f.c.Barrier()
 	}
 	as := f.buildAggSet(lo, hi)
-	doms := as.doms
 	mine := as.mineDomain()
 
 	// Build the exchange messages: this rank's pieces and their payload
 	// bytes for every aggregator, in one pass over the runs so run order
 	// and data order stay aligned.
-	perAgg := make([][]datatype.Segment, len(doms))
-	payloadFor := make([][]byte, len(doms))
+	perAgg := make([][]datatype.Segment, as.part.N)
+	payloadFor := make([][]byte, as.part.N)
 	consumed := int64(0)
 	for _, r := range runs {
 		for r.Len > 0 {
-			k, end := domainOf(r.Off, r.Off+r.Len, lo, doms)
+			k, end := as.part.Clip(r.Off, r.End())
 			n := end - r.Off
 			perAgg[k] = append(perAgg[k], datatype.Segment{Off: r.Off, Len: n})
 			payloadFor[k] = append(payloadFor[k], data[consumed:consumed+n]...)
@@ -226,7 +159,7 @@ func (f *File) WriteAll(data []byte) error {
 	}
 	send := make([][]byte, f.c.Size())
 	nRuns := 0
-	for k := range doms {
+	for k := 0; k < as.part.N; k++ {
 		send[as.owners[k]] = encodeRuns(perAgg[k], payloadFor[k])
 		nRuns += len(perAgg[k])
 	}
@@ -239,10 +172,10 @@ func (f *File) WriteAll(data []byte) error {
 	}
 
 	// I/O phase: assemble the domain buffer and issue one large write.
-	if mine.len() > 0 {
-		buf, err := f.c.Malloc(mine.len())
+	if mine.Len > 0 {
+		buf, err := f.c.Malloc(mine.Len)
 		if err != nil {
-			return fmt.Errorf("mpiio: aggregator buffer of %d bytes: %w", mine.len(), err)
+			return fmt.Errorf("mpiio: aggregator buffer of %d bytes: %w", mine.Len, err)
 		}
 		defer f.c.Free(buf)
 
@@ -265,8 +198,8 @@ func (f *File) WriteAll(data []byte) error {
 			pieces = append(pieces, piece{runs: rs, payload: payload})
 			covered = append(covered, rs...)
 		}
-		if !coversDomain(covered, mine) {
-			if err := f.readRetry(mine.lo, buf); err != nil {
+		if !extent.Covers(covered, mine.Off, mine.End()) {
+			if err := f.readRetry(mine.Off, buf); err != nil {
 				return err
 			}
 		}
@@ -274,23 +207,17 @@ func (f *File) WriteAll(data []byte) error {
 		for _, p := range pieces {
 			at := int64(0)
 			for _, r := range p.runs {
-				copy(buf[r.Off-mine.lo:r.Off-mine.lo+r.Len], p.payload[at:at+r.Len])
+				copy(buf[r.Off-mine.Off:r.Off-mine.Off+r.Len], p.payload[at:at+r.Len])
 				at += r.Len
 			}
 			scattered += len(p.runs)
 		}
 		f.chargeCPU(runCPU, scattered) // aggregator-side decode + scatter
-		if err := f.writeRetry(mine.lo, buf); err != nil {
+		if err := f.writeRetry(mine.Off, buf); err != nil {
 			return err
 		}
 	}
 	return f.c.Barrier()
-}
-
-// coversDomain reports whether the union of runs covers d completely.
-func coversDomain(runs []datatype.Segment, d domain) bool {
-	merged := datatype.Coalesce(runs)
-	return len(merged) == 1 && merged[0].Off <= d.lo && merged[0].Off+merged[0].Len >= d.hi
 }
 
 // ReadAll performs a collective read of n visible bytes through the view at
@@ -313,16 +240,15 @@ func (f *File) ReadAll(n int64) ([]byte, error) {
 		return make([]byte, n), nil
 	}
 	as := f.buildAggSet(lo, hi)
-	doms := as.doms
 	mine := as.mineDomain()
 
 	// Exchange phase 1 (ROMIO's ADIOI_Calc_others_req): every rank tells
 	// each aggregator which runs it needs — an all-to-all burst of request
 	// lists issued by all ranks at the same instant.
-	perAgg := splitByDomain(runs, doms)
+	perAgg := as.part.Split(runs)
 	req := make([][]byte, f.c.Size())
 	nRuns := 0
-	for k := range doms {
+	for k := 0; k < as.part.N; k++ {
 		req[as.owners[k]] = encodeRuns(perAgg[k], nil)
 		nRuns += len(perAgg[k])
 	}
@@ -334,13 +260,13 @@ func (f *File) ReadAll(n int64) ([]byte, error) {
 
 	// I/O phase: each aggregator reads its whole domain.
 	var buf []byte
-	if mine.len() > 0 {
-		buf, err = f.c.Malloc(mine.len())
+	if mine.Len > 0 {
+		buf, err = f.c.Malloc(mine.Len)
 		if err != nil {
-			return nil, fmt.Errorf("mpiio: aggregator buffer of %d bytes: %w", mine.len(), err)
+			return nil, fmt.Errorf("mpiio: aggregator buffer of %d bytes: %w", mine.Len, err)
 		}
 		defer f.c.Free(buf)
-		if err := f.readRetry(mine.lo, buf); err != nil {
+		if err := f.readRetry(mine.Off, buf); err != nil {
 			return nil, err
 		}
 	}
@@ -358,7 +284,7 @@ func (f *File) ReadAll(n int64) ([]byte, error) {
 		}
 		var payload []byte
 		for _, r := range rs {
-			payload = append(payload, buf[r.Off-mine.lo:r.Off-mine.lo+r.Len]...)
+			payload = append(payload, buf[r.Off-mine.Off:r.Off-mine.Off+r.Len]...)
 		}
 		replies[src] = payload
 		gathered += len(rs)
@@ -372,12 +298,12 @@ func (f *File) ReadAll(n int64) ([]byte, error) {
 	// Assemble this rank's data in run order from the per-aggregator
 	// answer streams.
 	out := make([]byte, n)
-	cursor := make([]int64, len(doms))
+	cursor := make([]int64, as.part.N)
 	filled := int64(0)
 	assembled := 0
 	for _, r := range runs {
 		for r.Len > 0 {
-			k, end := domainOf(r.Off, r.Off+r.Len, lo, doms)
+			k, end := as.part.Clip(r.Off, r.End())
 			m := end - r.Off
 			copy(out[filled:filled+m], answers[as.owners[k]][cursor[k]:cursor[k]+m])
 			cursor[k] += m

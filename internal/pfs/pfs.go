@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/simtime"
 )
@@ -187,7 +188,7 @@ func (fs *FileSystem) Open(name string) *File {
 		firstOST:  fs.nextOST % fs.cfg.OSTCount,
 		pages:     make(map[int64][]byte),
 		lockOwner: make(map[int64]int),
-		raWindow:  make(map[int]byteRange),
+		raWindow:  make(map[int]extent.Extent),
 	}
 	fs.nextOST += fs.cfg.StripeCount
 	fs.files[name] = f
@@ -254,12 +255,9 @@ type File struct {
 	mu        sync.Mutex
 	pages     map[int64][]byte
 	size      int64
-	lockOwner map[int64]int     // stripe index -> client (node) holding its lock
-	raWindow  map[int]byteRange // client -> readahead window [lo,hi)
+	lockOwner map[int64]int         // stripe index -> client (node) holding its lock
+	raWindow  map[int]extent.Extent // reader (process) -> readahead window
 }
-
-// byteRange is a half-open byte range.
-type byteRange struct{ lo, hi int64 }
 
 // Name reports the file's name.
 func (f *File) Name() string { return f.name }
@@ -271,29 +269,43 @@ func (f *File) Size() int64 {
 	return f.size
 }
 
-// ostFor maps a stripe index to the OST serving it.
-func (f *File) ostFor(stripe int64) *simtime.Resource {
-	idx := (f.firstOST + int(stripe%int64(f.fs.cfg.StripeCount))) % f.fs.cfg.OSTCount
-	return f.fs.osts[idx]
+// ostIndex maps a stripe index to the OST serving it.
+func (f *File) ostIndex(stripe int64) int {
+	return (f.firstOST + int(stripe%int64(f.fs.cfg.StripeCount))) % f.fs.cfg.OSTCount
 }
 
-// readAheadHit reports whether the client's read [off, off+n) is covered
+// ostFor maps a stripe index to the OST resource serving it.
+func (f *File) ostFor(stripe int64) *simtime.Resource {
+	return f.fs.osts[f.ostIndex(stripe)]
+}
+
+// OSTOf reports which OST serves the byte at the given offset. The storage
+// layer groups requests by this index so independent targets can be driven
+// by parallel workers.
+func (f *File) OSTOf(off int64) int {
+	return f.ostIndex(off / f.fs.cfg.StripeSize)
+}
+
+// readAheadHit reports whether the reader's access [off, off+n) is covered
 // by its readahead window, and advances the window: a miss prefetches
-// [off, off+n+ReadAhead). Writes by any client invalidate nothing here —
-// the window is a performance model, and contents are always served from
-// the authoritative store.
-func (f *File) readAheadHit(client int, off, n int64) bool {
+// [off, off+n+ReadAhead). The window is keyed per reading process (like
+// POSIX per-descriptor readahead), not per node: a process's hit pattern
+// then depends only on its own sequential access history, which keeps
+// every downstream count deterministic no matter how the node's processes
+// interleave. Writes invalidate nothing here — the window is a performance
+// model, and contents are always served from the authoritative store.
+func (f *File) readAheadHit(reader int, off, n int64) bool {
 	ra := f.fs.cfg.ReadAhead
 	if ra <= 0 || n <= 0 {
 		return false
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	w, ok := f.raWindow[client]
-	if ok && off >= w.lo && off+n <= w.hi {
+	w, ok := f.raWindow[reader]
+	if ok && off >= w.Off && off+n <= w.End() {
 		return true
 	}
-	f.raWindow[client] = byteRange{lo: off, hi: off + n + ra}
+	f.raWindow[reader] = extent.Extent{Off: off, Len: n + ra}
 	return false
 }
 
@@ -320,19 +332,10 @@ func (f *File) chargeAccess(client int, off, n int64, now simtime.Time, write bo
 		slow = simtime.Duration(cfg.Faults.Factor(faults.SiteOSTSlow))
 		f.fs.slowServices.Add(1)
 	}
-	first := off / cfg.StripeSize
-	last := (off + n - 1) / cfg.StripeSize
 	serverCharged := false
-	for s := first; s <= last; s++ {
-		chunkStart := s * cfg.StripeSize
-		chunkEnd := chunkStart + cfg.StripeSize
-		if chunkStart < off {
-			chunkStart = off
-		}
-		if chunkEnd > off+n {
-			chunkEnd = off + n
-		}
-		simBytes := (chunkEnd - chunkStart) * cfg.ByteScale
+	for _, chunk := range extent.SplitAt([]extent.Extent{{Off: off, Len: n}}, cfg.StripeSize) {
+		s := chunk.Off / cfg.StripeSize
+		simBytes := chunk.Len * cfg.ByteScale
 		dur := simtime.BytesDuration(simBytes, bw) * slow
 		if !serverCharged {
 			// The request's server-side CPU cost lands on the OST serving
@@ -396,34 +399,35 @@ func (f *File) writeAt(client int, off int64, data []byte, now simtime.Time, att
 	return end, nil
 }
 
-// ReadAt fills dst from offset off on behalf of client. Bytes never written
-// read as zero (sparse files). It returns the completion time. Like
-// WriteAt, it can fail transiently under fault injection.
-func (f *File) ReadAt(client int, off int64, dst []byte, now simtime.Time) (simtime.Time, error) {
-	return f.readAt(client, off, dst, now, 0)
+// ReadAt fills dst from offset off on behalf of reader — the reading
+// process, not its node: reads take only shared locks, so the read path
+// needs no node identity, and per-process keying makes readahead hits (and
+// hence fault rolls and service counts) independent of how a node's
+// processes interleave. Bytes never written read as zero (sparse files).
+// It returns the completion time. Like WriteAt, it can fail transiently
+// under fault injection.
+func (f *File) ReadAt(reader int, off int64, dst []byte, now simtime.Time) (simtime.Time, error) {
+	return f.readAt(reader, off, dst, now, 0)
 }
 
-func (f *File) readAt(client int, off int64, dst []byte, now simtime.Time, attempt int64) (simtime.Time, error) {
+func (f *File) readAt(reader int, off int64, dst []byte, now simtime.Time, attempt int64) (simtime.Time, error) {
 	if off < 0 {
 		return now, fmt.Errorf("pfs: negative offset %d", off)
 	}
-	// The fault roll happens before the readahead check: whether a request
-	// is served from client cache depends on scheduling across the node's
-	// ranks, and fault decisions must not (determinism).
-	if inj := f.fs.cfg.Faults; inj.Should(faults.SiteOSTRead, int64(client), off, int64(len(dst)), attempt) {
+	if inj := f.fs.cfg.Faults; inj.Should(faults.SiteOSTRead, int64(reader), off, int64(len(dst)), attempt) {
 		f.fs.faultsInjected.Add(1)
 		end := now.Add(f.fs.cfg.RequestOverhead + f.fs.faultTimeout())
 		return end, fmt.Errorf("pfs: read %s: %w", f.name,
-			inj.Fault(faults.SiteOSTRead, "client=%d off=%d len=%d", client, off, len(dst)))
+			inj.Fault(faults.SiteOSTRead, "reader=%d off=%d len=%d", reader, off, len(dst)))
 	}
 	f.fs.reads.Add(1)
 	f.fs.bytesRead.Add(int64(len(dst)))
 	var end simtime.Time
-	if f.readAheadHit(client, off, int64(len(dst))) {
+	if f.readAheadHit(reader, off, int64(len(dst))) {
 		f.fs.cacheHits.Add(1)
 		end = now.Add(f.fs.cfg.CacheHit)
 	} else {
-		end = f.chargeAccess(client, off, int64(len(dst)), now, false, attempt)
+		end = f.chargeAccess(reader, off, int64(len(dst)), now, false, attempt)
 	}
 	f.loadBytes(off, dst)
 	return end, nil
@@ -442,33 +446,20 @@ func (f *File) WriteAtRetry(client int, off int64, data []byte, now simtime.Time
 }
 
 // ReadAtRetry is ReadAt under a retry policy; see WriteAtRetry.
-func (f *File) ReadAtRetry(client int, off int64, dst []byte, now simtime.Time, pol faults.RetryPolicy) (simtime.Time, int64, error) {
+func (f *File) ReadAtRetry(reader int, off int64, dst []byte, now simtime.Time, pol faults.RetryPolicy) (simtime.Time, int64, error) {
 	return f.retry(now, pol, func(at simtime.Time, attempt int64) (simtime.Time, error) {
-		return f.readAt(client, off, dst, at, attempt)
+		return f.readAt(reader, off, dst, at, attempt)
 	})
 }
 
-// retry drives one request through the policy's attempt loop.
+// retry drives one request through the shared faults.Retry loop, folding
+// the absorbed faults into the file system's counters.
 func (f *File) retry(now simtime.Time, pol faults.RetryPolicy, op func(simtime.Time, int64) (simtime.Time, error)) (simtime.Time, int64, error) {
-	start := now
-	var retries int64
-	for attempt := 0; ; attempt++ {
-		end, err := op(now, int64(attempt))
-		if err == nil || !faults.IsTransient(err) {
-			return end, retries, err
-		}
-		if attempt >= pol.MaxRetries {
-			return end, retries, faults.Exhausted(attempt, err)
-		}
-		next := end.Add(pol.Backoff(attempt + 1))
-		if pol.Deadline > 0 && next.Sub(start) > pol.Deadline {
-			return end, retries, faults.Exhausted(attempt,
-				fmt.Errorf("virtual-time deadline %v exceeded: %w", pol.Deadline, err))
-		}
-		now = next
-		retries++
-		f.fs.retries.Add(1)
+	end, retries, err := faults.Retry(now, pol, op)
+	if retries > 0 {
+		f.fs.retries.Add(retries)
 	}
+	return end, retries, err
 }
 
 // storeBytes copies data into the sparse page store.
@@ -537,7 +528,7 @@ func (f *File) Truncate() {
 	f.pages = make(map[int64][]byte)
 	f.size = 0
 	f.lockOwner = make(map[int64]int)
-	f.raWindow = make(map[int]byteRange)
+	f.raWindow = make(map[int]extent.Extent)
 }
 
 // LockOwners returns the stripes currently owned, in stripe order —

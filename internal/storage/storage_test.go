@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/simtime"
+	"github.com/tcio/tcio/internal/trace"
+)
+
+// testClock is a plain rank clock for driving a Client outside the MPI
+// runtime.
+type testClock struct{ now simtime.Time }
+
+func (c *testClock) Now() simtime.Time { return c.now }
+func (c *testClock) AdvanceTo(t simtime.Time) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// multiOSTFS builds a file system whose files stripe over several OSTs so
+// the parallel path has real fan-out to exploit.
+func multiOSTFS(inj *faults.Injector) *pfs.FileSystem {
+	cfg := pfs.DefaultConfig()
+	cfg.OSTCount = 8
+	cfg.StripeCount = 8
+	cfg.Faults = inj
+	return pfs.New(cfg)
+}
+
+// stripedRequests builds one request per stripe across nStripes stripes,
+// each tagged and filled with a distinct pattern.
+func stripedRequests(stripeSize int64, nStripes int) []Request {
+	reqs := make([]Request, nStripes)
+	for i := range reqs {
+		data := bytes.Repeat([]byte{byte(i + 1)}, 1024)
+		reqs[i] = Request{Off: int64(i) * stripeSize, Data: data, Tag: fmt.Sprintf("stripe=%d", i)}
+	}
+	return reqs
+}
+
+func TestSerialAndParallelWriteSameBytes(t *testing.T) {
+	cfgStripe := pfs.DefaultConfig().StripeSize
+	for _, workers := range []int{1, 4} {
+		fs := multiOSTFS(nil)
+		clock := &testClock{}
+		c := NewClient(fs.Open("f"), 0, 0, clock)
+		c.SetWorkers(workers)
+		reqs := stripedRequests(cfgStripe, 8)
+		res, err := c.WriteExtents("write", trace.KindDrain, reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Requests != 8 || res.Bytes != 8*1024 {
+			t.Fatalf("workers=%d: result %+v", workers, res)
+		}
+		snap := fs.Open("f").Snapshot()
+		for _, r := range reqs {
+			if !bytes.Equal(snap[r.Off:r.Off+int64(len(r.Data))], r.Data) {
+				t.Fatalf("workers=%d: %s not written", workers, r.Tag)
+			}
+		}
+	}
+}
+
+// TestParallelMakespanBeatsSerial pins the point of the fan-out: with the
+// requests spread over distinct OSTs, issuing them from several workers
+// finishes in less virtual time than the serial chain.
+func TestParallelMakespanBeatsSerial(t *testing.T) {
+	stripe := pfs.DefaultConfig().StripeSize
+	elapsed := func(workers int) simtime.Duration {
+		fs := multiOSTFS(nil)
+		clock := &testClock{}
+		c := NewClient(fs.Open("f"), 0, 0, clock)
+		c.SetWorkers(workers)
+		if _, err := c.WriteExtents("write", trace.KindDrain, stripedRequests(stripe, 8)); err != nil {
+			t.Fatal(err)
+		}
+		return clock.now.Sub(0)
+	}
+	serial, parallel := elapsed(1), elapsed(4)
+	if parallel >= serial {
+		t.Fatalf("parallel makespan %v not below serial %v", parallel, serial)
+	}
+}
+
+// TestRetriesDeterministicAcrossWorkerCounts checks that the absorbed fault
+// count depends only on the request identities, not on the fan-out.
+func TestRetriesDeterministicAcrossWorkerCounts(t *testing.T) {
+	stripe := pfs.DefaultConfig().StripeSize
+	run := func(workers int) int64 {
+		inj := faults.New(42).Set(faults.SiteOSTWrite, faults.Rule{Prob: 0.5})
+		fs := multiOSTFS(inj)
+		clock := &testClock{}
+		c := NewClient(fs.Open("f"), 0, 0, clock)
+		c.SetWorkers(workers)
+		if _, err := c.WriteExtents("write", trace.KindDrain, stripedRequests(stripe, 8)); err != nil {
+			t.Fatal(err)
+		}
+		return c.Retries()
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); got != base {
+			t.Fatalf("workers=%d: %d retries, serial absorbed %d", workers, got, base)
+		}
+	}
+	if base == 0 {
+		t.Fatal("fault rate 0.5 absorbed no faults; injection broken")
+	}
+}
+
+func TestExhaustionSurfacesWrappedError(t *testing.T) {
+	inj := faults.New(7).Set(faults.SiteOSTWrite, faults.Rule{Prob: 1})
+	fs := multiOSTFS(inj)
+	clock := &testClock{}
+	c := NewClient(fs.Open("f"), 0, 0, clock)
+	c.SetRetryPolicy(faults.NoRetry())
+	_, err := c.WriteExtents("write", trace.KindDrain,
+		[]Request{{Off: 0, Data: []byte{1}, Tag: "doomed"}})
+	if !errors.Is(err, faults.ErrExhaustedRetries) {
+		t.Fatalf("error %v does not wrap ErrExhaustedRetries", err)
+	}
+}
+
+func TestReadExtentsRoundTrip(t *testing.T) {
+	stripe := pfs.DefaultConfig().StripeSize
+	fs := multiOSTFS(nil)
+	clock := &testClock{}
+	c := NewClient(fs.Open("f"), 0, 0, clock)
+	want := stripedRequests(stripe, 4)
+	if _, err := c.WriteExtents("write", trace.KindDrain, want); err != nil {
+		t.Fatal(err)
+	}
+	c.SetWorkers(4)
+	got := make([]Request, len(want))
+	for i, r := range want {
+		got[i] = Request{Off: r.Off, Data: make([]byte, len(r.Data)), Tag: r.Tag}
+	}
+	res, err := c.ReadExtents("read", trace.KindFetch, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != int64(len(want)) {
+		t.Fatalf("read result %+v", res)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("request %d read back wrong bytes", i)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package tcio
+
+// The level-2 layer (paper §IV.A): segments exposed through an MPI
+// one-sided window, addressed by the round-robin mapping of equations
+// (1)-(3), and fed by passive-target puts whose epochs pipeline up to
+// Config.PipelineDepth.
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/simtime"
+	"github.com/tcio/tcio/internal/trace"
+)
+
+// l2meta is the bookkeeping shared by all ranks of one TCIO file: which
+// parts of each global segment hold buffered data (dirty, writes) and which
+// segments have been populated from the file system (reads). Access is
+// serialized by the window lock discipline plus an internal mutex.
+type l2meta struct {
+	mu        sync.Mutex
+	dirty     map[int64][]extent.Extent // global segment -> runs (segment-relative)
+	populated map[int64]bool
+}
+
+func (m *l2meta) addDirty(seg int64, runs []extent.Extent) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty[seg] = extent.Coalesce(append(m.dirty[seg], runs...))
+}
+
+func (m *l2meta) dirtyRuns(seg int64) []extent.Extent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dirty[seg]
+}
+
+func (m *l2meta) isPopulated(seg int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.populated[seg]
+}
+
+func (m *l2meta) setPopulated(seg int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.populated[seg] = true
+}
+
+// locate applies the paper's equations (1)-(3) to a file offset.
+func (f *File) locate(off int64) (rank int, slot int64, disp int64) {
+	return f.layout.Locate(off)
+}
+
+// globalSegment returns the global segment index of a file offset.
+func (f *File) globalSegment(off int64) int64 { return f.layout.Segment(off) }
+
+// segmentOwner returns the owning rank and local slot of a global segment.
+func (f *File) segmentOwner(seg int64) (rank int, slot int64) {
+	return f.layout.Owner(seg)
+}
+
+// ship performs the one-sided transfer of segment-relative runs into the
+// owner's window and records them as dirty.
+//
+// A shared lock suffices: different ranks put into disjoint byte ranges of
+// the segment (their own blocks), so concurrent epochs are safe. The epoch
+// is left open (recorded in openOwners) so that successive flushes to the
+// same owner pipeline; Flush and Close end all open epochs with one wave of
+// unlocks whose completion waits overlap.
+func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
+	owner, slot := f.segmentOwner(seg)
+	if slot >= int64(f.numSeg) {
+		return fmt.Errorf("%w: segment %d needs slot %d of %d", ErrCapacity, seg, slot, f.numSeg)
+	}
+	winRuns := make([]extent.Extent, len(runs))
+	for i, r := range runs {
+		winRuns[i] = extent.Extent{Off: slot*f.segSize + r.Off, Len: r.Len}
+	}
+	t0 := f.c.Now()
+	if !f.win.Held(owner) {
+		// Bound the pipeline: retire the oldest epoch once the window of
+		// outstanding puts is full.
+		for len(f.openOwners) >= f.cfg.PipelineDepth {
+			oldest := f.openOwners[0]
+			f.openOwners = f.openOwners[1:]
+			if err := f.win.Unlock(oldest); err != nil {
+				return err
+			}
+		}
+		if err := f.win.Lock(owner, false); err != nil {
+			return err
+		}
+		f.openOwners = append(f.openOwners, owner)
+	}
+	t1 := f.c.Now()
+	if err := f.putSegmentsRetry(owner, seg, winRuns, payload); err != nil {
+		return err
+	}
+	t2 := f.c.Now()
+	f.stats.LockWait += t1.Sub(t0)
+	f.stats.PutIssue += t2.Sub(t1)
+	f.meta.addDirty(seg, runs)
+	f.stats.Level1Flush++
+	f.emit(trace.KindFlush, t0, int64(len(payload)), fmt.Sprintf("seg=%d owner=%d runs=%d", seg, owner, len(runs)))
+	return nil
+}
+
+// putSegmentsRetry issues one one-sided put, absorbing injected NIC
+// work-request drops (faults.SiteWinPut) under the shared faults.Retry
+// driver. The fault roll is keyed by this rank's shipment number so chaos
+// runs replay exactly; each backoff burns virtual time on the origin, as a
+// real sender re-posting a dropped work request would.
+func (f *File) putSegmentsRetry(owner int, seg int64, runs []extent.Extent, payload []byte) error {
+	inj := f.c.Faults()
+	ship := f.shipCount
+	f.shipCount++
+	start := f.c.Now()
+	end, retries, err := faults.Retry(start, f.retry,
+		func(at simtime.Time, attempt int64) (simtime.Time, error) {
+			f.c.AdvanceTo(at) // charge the preceding backoff, if any
+			if inj.Should(faults.SiteWinPut, int64(f.c.Rank()), ship, attempt) {
+				return f.c.Now(), inj.Fault(faults.SiteWinPut, "rank=%d seg=%d owner=%d",
+					f.c.Rank(), seg, owner)
+			}
+			return f.c.Now(), f.win.PutSegments(owner, runs, payload)
+		})
+	f.c.AdvanceTo(end)
+	if retries > 0 {
+		f.stats.Retries += retries
+		f.emit(trace.KindRetry, start, 0,
+			fmt.Sprintf("put seg=%d owner=%d retries=%d", seg, owner, retries))
+	}
+	if err != nil {
+		return fmt.Errorf("tcio: ship segment %d to rank %d: %w", seg, owner, err)
+	}
+	return nil
+}
+
+// closeEpochs unlocks every open put epoch; the unlock completions overlap.
+func (f *File) closeEpochs() error {
+	t0 := f.c.Now()
+	var first error
+	for _, owner := range f.openOwners {
+		if err := f.win.Unlock(owner); err != nil && first == nil {
+			first = err
+		}
+	}
+	f.openOwners = f.openOwners[:0]
+	f.stats.UnlockWait += f.c.Now().Sub(t0)
+	return first
+}

@@ -1,0 +1,229 @@
+package tcio
+
+// The lazy read path (paper §IV.B): Read/ReadAt only record destination
+// buffers; Fetch performs the real one-sided gets, batched per owner so
+// the epochs' transfer waits overlap.
+
+import (
+	"fmt"
+
+	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/trace"
+)
+
+// readReq is one recorded lazy read: fill dst from the given file offset.
+type readReq struct {
+	off int64
+	dst []byte
+}
+
+// Read records a lazy read of n bytes at the current pointer and returns
+// the destination buffer. The buffer's contents are defined only after
+// Fetch (or Close) — the paper's lazy-loading contract.
+func (f *File) Read(n int64) ([]byte, error) {
+	dst := make([]byte, n)
+	if err := f.ReadAt(f.pos, dst); err != nil {
+		return nil, err
+	}
+	f.pos += n
+	return dst, nil
+}
+
+// ReadTyped lazily reads count elements of type t at the current pointer
+// and scatters them into mem according to the type's layout — the
+// tcio_read(fh, data, count, MPI_Datatype) entry point. Like all TCIO
+// reads, mem is defined only after Fetch (or Close).
+func (f *File) ReadTyped(mem []byte, count int, t datatype.Type) error {
+	need := int64(count) * t.Extent()
+	if int64(len(mem)) < need {
+		return fmt.Errorf("tcio: ReadTyped needs %d bytes of destination, have %d", need, len(mem))
+	}
+	staging := make([]byte, int64(count)*t.Size())
+	if err := f.ReadAt(f.pos, staging); err != nil {
+		return err
+	}
+	f.pos += int64(len(staging))
+	f.postFetch = append(f.postFetch, func() {
+		// Unpack cannot fail here: sizes were validated above.
+		_ = datatype.Unpack(staging, mem, t, count)
+	})
+	return nil
+}
+
+// ReadAt records a lazy read filling dst from the given file offset
+// (tcio_read_at). Data lands in dst at the next Fetch, segment
+// realignment, or Close.
+func (f *File) ReadAt(off int64, dst []byte) error {
+	switch {
+	case f.closed:
+		return ErrClosed
+	case f.mode != ReadMode:
+		return fmt.Errorf("%w: read on %s handle", ErrMode, f.mode)
+	case off < 0:
+		return fmt.Errorf("tcio: negative offset %d", off)
+	}
+	f.stats.Reads++
+	f.stats.BytesRead += int64(len(dst))
+	f.emit(trace.KindRead, f.c.Now(), int64(len(dst)), fmt.Sprintf("off=%d", off))
+	for len(dst) > 0 {
+		seg := f.globalSegment(off)
+		segOff := off % f.segSize
+		n := f.segSize - segOff
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		if !f.layout.InRange(seg) {
+			_, slot := f.segmentOwner(seg)
+			return fmt.Errorf("%w: offset %d needs slot %d of %d (raise NumSegments)",
+				ErrCapacity, off, slot, f.numSeg)
+		}
+		// Track the span of queued reads; once it exceeds the batch of
+		// segments, perform the real data movement (the "file domain of
+		// cached reads exceeds the level-1 buffer" rule, batched).
+		if f.pendingSeg != seg {
+			f.pendingDistinct++
+			f.pendingSeg = seg
+			if f.pendingDistinct > f.cfg.FetchBatch {
+				if err := f.Fetch(); err != nil {
+					return err
+				}
+				f.pendingDistinct = 1
+				f.pendingSeg = seg
+			}
+		}
+		f.c.Compute(f.pieceCPU)
+		f.pending = append(f.pending, readReq{off: off, dst: dst[:n]})
+		off += n
+		dst = dst[n:]
+	}
+	return nil
+}
+
+// Fetch completes all recorded lazy reads (tcio_fetch). It is independent:
+// only the calling rank participates. Gets for all queued segments are
+// issued asynchronously under concurrently held shared window locks — one
+// epoch per owner — so their wire times overlap instead of serializing.
+func (f *File) Fetch() error {
+	if f.closed {
+		return ErrClosed
+	}
+	if len(f.pending) == 0 {
+		f.pendingSeg = -1
+		f.pendingDistinct = 0
+		f.runPostFetch()
+		return nil
+	}
+	// Group by segment (requests may span several when a single ReadAt
+	// crossed a boundary).
+	bySeg := make(map[int64][]readReq)
+	var order []int64
+	for _, r := range f.pending {
+		seg := f.globalSegment(r.off)
+		if _, ok := bySeg[seg]; !ok {
+			order = append(order, seg)
+		}
+		bySeg[seg] = append(bySeg[seg], r)
+	}
+	f.pending = f.pending[:0]
+	f.pendingSeg = -1
+	f.pendingDistinct = 0
+
+	// Phase 1: make sure every needed segment is populated (only possible
+	// in demand mode; the default preloads at Open). Population needs the
+	// owner's exclusive lock.
+	for _, seg := range order {
+		if f.meta.isPopulated(seg) {
+			continue
+		}
+		owner, slot := f.segmentOwner(seg)
+		if err := f.win.Lock(owner, true); err != nil {
+			return err
+		}
+		if !f.meta.isPopulated(seg) {
+			if err := f.populate(seg, owner, slot); err != nil {
+				f.win.Unlock(owner)
+				return err
+			}
+		}
+		if err := f.win.Unlock(owner); err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: shared-lock each owner once, issue every segment's get
+	// asynchronously, then unlock — Unlock synchronizes with the epoch's
+	// transfers, so the waits overlap across owners and segments.
+	type pendingGet struct {
+		handle *mpi.GetHandle
+		reqs   []readReq
+	}
+	owners := make(map[int]bool)
+	var lockOrder []int
+	for _, seg := range order {
+		owner, _ := f.segmentOwner(seg)
+		if !owners[owner] {
+			owners[owner] = true
+			lockOrder = append(lockOrder, owner)
+		}
+	}
+	for _, owner := range lockOrder {
+		if err := f.win.Lock(owner, false); err != nil {
+			return err
+		}
+	}
+	gets := make([]pendingGet, 0, len(order))
+	var issueErr error
+	for _, seg := range order {
+		owner, slot := f.segmentOwner(seg)
+		reqs := bySeg[seg]
+		runs := make([]extent.Extent, len(reqs))
+		for i, r := range reqs {
+			runs[i] = extent.Extent{Off: slot*f.segSize + r.off%f.segSize, Len: int64(len(r.dst))}
+		}
+		h, err := f.win.GetSegmentsAsync(owner, runs)
+		if err != nil {
+			issueErr = err
+			break
+		}
+		f.stats.Gets++
+		gets = append(gets, pendingGet{handle: h, reqs: reqs})
+	}
+	for _, owner := range lockOrder {
+		if err := f.win.Unlock(owner); err != nil && issueErr == nil {
+			issueErr = err
+		}
+	}
+	if issueErr != nil {
+		return issueErr
+	}
+	// All epochs are closed: every get's data is complete. Scatter it.
+	fetchStart := f.c.Now()
+	var fetched int64
+	for _, g := range gets {
+		data := g.handle.Complete()
+		at := int64(0)
+		for _, r := range g.reqs {
+			copy(r.dst, data[at:at+int64(len(r.dst))])
+			at += int64(len(r.dst))
+		}
+	}
+	for _, g := range gets {
+		for _, r := range g.reqs {
+			fetched += int64(len(r.dst))
+		}
+	}
+	f.emit(trace.KindFetch, fetchStart, fetched, fmt.Sprintf("segments=%d", len(gets)))
+	f.runPostFetch()
+	return nil
+}
+
+// runPostFetch fires and clears the typed-read unpack hooks.
+func (f *File) runPostFetch() {
+	hooks := f.postFetch
+	f.postFetch = nil
+	for _, h := range hooks {
+		h()
+	}
+}

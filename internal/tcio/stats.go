@@ -1,0 +1,48 @@
+package tcio
+
+// Counters and trace hooks shared by all of the library's paths.
+
+import (
+	"github.com/tcio/tcio/internal/simtime"
+	"github.com/tcio/tcio/internal/trace"
+)
+
+// Stats counts the library's internal activity on one rank — used by the
+// ablation benchmarks and tests.
+type Stats struct {
+	Writes       int64 // application write calls
+	Reads        int64 // application read calls
+	Level1Flush  int64 // level-1 -> level-2 shipments (one-sided puts)
+	Gets         int64 // level-2 -> application transfers (one-sided gets)
+	Populations  int64 // segments demand-populated from the file system
+	FSWrites     int64 // file system write requests at Close/drain
+	BytesWritten int64
+	BytesRead    int64
+	// Retries counts transient faults this rank absorbed with backoff
+	// across all library paths (file system RPCs and one-sided puts).
+	Retries int64
+
+	// Virtual time spent in the phases of level-1 -> level-2 shipment,
+	// for performance diagnosis and the ablation reports.
+	LockWait   simtime.Duration
+	PutIssue   simtime.Duration
+	UnlockWait simtime.Duration
+}
+
+// Stats returns this rank's activity counters.
+func (f *File) Stats() Stats { return f.stats }
+
+// emit records a trace event when tracing is enabled.
+func (f *File) emit(kind trace.Kind, start simtime.Time, bytes int64, detail string) {
+	if f.cfg.Trace == nil {
+		return
+	}
+	f.cfg.Trace.Record(trace.Event{
+		Rank:   f.c.Rank(),
+		Start:  start,
+		Dur:    f.c.Now().Sub(start),
+		Kind:   kind,
+		Bytes:  bytes,
+		Detail: detail,
+	})
+}

@@ -19,6 +19,8 @@
 //     segment(offset) = (offset / SegmentSize) / P     (2)
 //     disp(offset)    =  offset % SegmentSize          (3)
 //
+//     (extent.Layout is the reusable form of this mapping.)
+//
 //   - All level-1 ↔ level-2 movement uses passive-target one-sided
 //     communication (lock / put / get / unlock) carrying the coalesced
 //     block list as a single indexed-datatype transfer. No matching pairs
@@ -29,18 +31,23 @@
 //
 // SegmentSize defaults to the file system's stripe size — its lock
 // granularity — as §IV.A prescribes.
+//
+// The implementation is split by layer: level1.go is the per-process
+// coalescing buffer, level2.go the one-sided window traffic, read.go the
+// lazy read queue and Fetch, drain.go the file system transfers (through
+// package storage), and stats.go the counters and trace hooks.
 package tcio
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 
-	"github.com/tcio/tcio/internal/datatype"
+	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/netsim"
 	"github.com/tcio/tcio/internal/simtime"
+	"github.com/tcio/tcio/internal/storage"
 	"github.com/tcio/tcio/internal/trace"
 )
 
@@ -80,6 +87,14 @@ type Config struct {
 	// Together the processes must cover the file: P * NumSegments *
 	// SegmentSize >= file size. 0 means 64.
 	NumSegments int
+
+	// DrainWorkers bounds the worker goroutines a rank fans its file
+	// system batches (drain, populate, preload) out over. Requests are
+	// grouped by the OST serving them and the groups are dealt to workers,
+	// so transfers overlap only across distinct storage targets and the
+	// issued request set stays deterministic. 0 or 1 means serial — the
+	// classic one-request-at-a-time loop.
+	DrainWorkers int
 
 	// DisableLevel1 is an ablation switch: every piece is shipped to the
 	// level-2 buffer immediately, with its own one-sided operation,
@@ -133,68 +148,6 @@ var (
 	ErrUnfetched = errors.New("tcio: pending reads not fetched")
 )
 
-// Stats counts the library's internal activity on one rank — used by the
-// ablation benchmarks and tests.
-type Stats struct {
-	Writes       int64 // application write calls
-	Reads        int64 // application read calls
-	Level1Flush  int64 // level-1 -> level-2 shipments (one-sided puts)
-	Gets         int64 // level-2 -> application transfers (one-sided gets)
-	Populations  int64 // segments demand-populated from the file system
-	FSWrites     int64 // file system write requests at Close/drain
-	BytesWritten int64
-	BytesRead    int64
-	// Retries counts transient faults this rank absorbed with backoff
-	// across all library paths (file system RPCs and one-sided puts).
-	Retries int64
-
-	// Virtual time spent in the phases of level-1 -> level-2 shipment,
-	// for performance diagnosis and the ablation reports.
-	LockWait   simtime.Duration
-	PutIssue   simtime.Duration
-	UnlockWait simtime.Duration
-}
-
-// l2meta is the bookkeeping shared by all ranks of one TCIO file: which
-// parts of each global segment hold buffered data (dirty, writes) and which
-// segments have been populated from the file system (reads). Access is
-// serialized by the window lock discipline plus an internal mutex.
-type l2meta struct {
-	mu        sync.Mutex
-	dirty     map[int64][]datatype.Segment // global segment -> runs (segment-relative)
-	populated map[int64]bool
-}
-
-func (m *l2meta) addDirty(seg int64, runs []datatype.Segment) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.dirty[seg] = datatype.Coalesce(append(m.dirty[seg], runs...))
-}
-
-func (m *l2meta) dirtyRuns(seg int64) []datatype.Segment {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dirty[seg]
-}
-
-func (m *l2meta) isPopulated(seg int64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.populated[seg]
-}
-
-func (m *l2meta) setPopulated(seg int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.populated[seg] = true
-}
-
-// readReq is one recorded lazy read: fill dst from the given file offset.
-type readReq struct {
-	off int64
-	dst []byte
-}
-
 // File is one rank's TCIO handle on a shared file.
 type File struct {
 	c    *mpi.Comm
@@ -202,7 +155,8 @@ type File struct {
 	mode Mode
 	name string
 
-	pfName   string
+	// layout is the round-robin offset mapping of equations (1)-(3).
+	layout   extent.Layout
 	segSize  int64
 	numSeg   int
 	pieceCPU simtime.Duration // per-piece library processing cost
@@ -210,6 +164,10 @@ type File struct {
 
 	win  *mpi.Win
 	meta *l2meta
+	// store is the file system access path: drain, populate, and preload
+	// batches go through it for retry, tracing, virtual-time charging, and
+	// the per-OST worker fan-out.
+	store *storage.Client
 
 	pos    int64
 	closed bool
@@ -217,7 +175,7 @@ type File struct {
 	// Level-1 buffer (write mode).
 	l1Seg    int64 // aligned global segment; -1 when empty
 	l1Buf    []byte
-	l1Blocks []datatype.Segment // segment-relative cached runs
+	l1Blocks []extent.Extent // segment-relative cached runs
 	// openOwners lists the targets with an open shared put epoch.
 	openOwners []int
 	// shipCount numbers this rank's one-sided shipments; it keys the
@@ -269,6 +227,9 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if cfg.PipelineDepth < 1 {
 		return nil, fmt.Errorf("tcio: pipeline depth %d", cfg.PipelineDepth)
 	}
+	if cfg.DrainWorkers < 0 {
+		return nil, fmt.Errorf("tcio: drain workers %d", cfg.DrainWorkers)
+	}
 	retry := faults.DefaultRetryPolicy()
 	if cfg.Retry != nil {
 		retry = *cfg.Retry
@@ -291,20 +252,26 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 		return nil, err
 	}
 	shared, err := c.SharedOnce(func() interface{} {
-		return &l2meta{dirty: make(map[int64][]datatype.Segment), populated: make(map[int64]bool)}
+		return &l2meta{dirty: make(map[int64][]extent.Extent), populated: make(map[int64]bool)}
 	})
 	if err != nil {
 		return nil, err
 	}
+	store := storage.NewClient(c.FS().Open(name), c.Node(), c.Rank(), c)
+	store.SetRetryPolicy(retry)
+	store.SetTrace(cfg.Trace)
+	store.SetWorkers(cfg.DrainWorkers)
 	f := &File{
 		c:       c,
 		cfg:     cfg,
 		mode:    mode,
 		name:    name,
+		layout:  extent.Layout{P: c.Size(), SegSize: cfg.SegmentSize, NumSeg: cfg.NumSegments},
 		segSize: cfg.SegmentSize,
 		numSeg:  cfg.NumSegments,
 		win:     win,
 		meta:    shared.(*l2meta),
+		store:   store,
 		retry:   retry,
 		l1Seg:   -1,
 		l1Buf:   l1,
@@ -330,43 +297,7 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 }
 
 // Capacity reports the total file range the level-2 buffers can hold.
-func (f *File) Capacity() int64 {
-	return int64(f.c.Size()) * int64(f.numSeg) * f.segSize
-}
-
-// Stats returns this rank's activity counters.
-func (f *File) Stats() Stats { return f.stats }
-
-// emit records a trace event when tracing is enabled.
-func (f *File) emit(kind trace.Kind, start simtime.Time, bytes int64, detail string) {
-	if f.cfg.Trace == nil {
-		return
-	}
-	f.cfg.Trace.Record(trace.Event{
-		Rank:   f.c.Rank(),
-		Start:  start,
-		Dur:    f.c.Now().Sub(start),
-		Kind:   kind,
-		Bytes:  bytes,
-		Detail: detail,
-	})
-}
-
-// locate applies the paper's equations (1)-(3) to a file offset.
-func (f *File) locate(off int64) (rank int, slot int64, disp int64) {
-	seg := off / f.segSize
-	p := int64(f.c.Size())
-	return int(seg % p), seg / p, off % f.segSize
-}
-
-// globalSegment returns the global segment index of a file offset.
-func (f *File) globalSegment(off int64) int64 { return off / f.segSize }
-
-// segmentOwner returns the owning rank and local slot of a global segment.
-func (f *File) segmentOwner(seg int64) (rank int, slot int64) {
-	p := int64(f.c.Size())
-	return int(seg % p), seg / p
-}
+func (f *File) Capacity() int64 { return f.layout.Capacity() }
 
 // Seek positions the file pointer. whence follows io.Seeker: 0 = absolute,
 // 1 = relative to the current position (2, end-relative, is not supported:
@@ -388,221 +319,6 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return f.pos, nil
 }
 
-// Write appends data at the current file pointer (tcio_write).
-func (f *File) Write(data []byte) error {
-	if err := f.WriteAt(f.pos, data); err != nil {
-		return err
-	}
-	f.pos += int64(len(data))
-	return nil
-}
-
-// WriteTyped writes count elements of type t, gathered from mem according
-// to the type's layout — the tcio_write(fh, data, count, MPI_Datatype)
-// entry point of the paper's Program 1.
-func (f *File) WriteTyped(mem []byte, count int, t datatype.Type) error {
-	packed, err := datatype.Pack(mem, t, count)
-	if err != nil {
-		return err
-	}
-	return f.Write(packed)
-}
-
-// ReadTyped lazily reads count elements of type t at the current pointer
-// and scatters them into mem according to the type's layout — the
-// tcio_read(fh, data, count, MPI_Datatype) entry point. Like all TCIO
-// reads, mem is defined only after Fetch (or Close).
-func (f *File) ReadTyped(mem []byte, count int, t datatype.Type) error {
-	need := int64(count) * t.Extent()
-	if int64(len(mem)) < need {
-		return fmt.Errorf("tcio: ReadTyped needs %d bytes of destination, have %d", need, len(mem))
-	}
-	staging := make([]byte, int64(count)*t.Size())
-	if err := f.ReadAt(f.pos, staging); err != nil {
-		return err
-	}
-	f.pos += int64(len(staging))
-	f.postFetch = append(f.postFetch, func() {
-		// Unpack cannot fail here: sizes were validated above.
-		_ = datatype.Unpack(staging, mem, t, count)
-	})
-	return nil
-}
-
-// WriteAt writes data at the given file offset (tcio_write_at). The call
-// is fully independent: no other rank needs to participate.
-func (f *File) WriteAt(off int64, data []byte) error {
-	switch {
-	case f.closed:
-		return ErrClosed
-	case f.mode != WriteMode:
-		return fmt.Errorf("%w: write on %s handle", ErrMode, f.mode)
-	case off < 0:
-		return fmt.Errorf("tcio: negative offset %d", off)
-	}
-	f.stats.Writes++
-	f.stats.BytesWritten += int64(len(data))
-	f.emit(trace.KindWrite, f.c.Now(), int64(len(data)), fmt.Sprintf("off=%d", off))
-	// Split at segment boundaries: a block larger than one segment "has to
-	// be subdivided and placed in different segments" (§IV.A).
-	for len(data) > 0 {
-		seg := f.globalSegment(off)
-		segOff := off % f.segSize
-		n := f.segSize - segOff
-		if n > int64(len(data)) {
-			n = int64(len(data))
-		}
-		if _, slot := f.segmentOwner(seg); slot >= int64(f.numSeg) {
-			return fmt.Errorf("%w: offset %d needs slot %d of %d (raise NumSegments)",
-				ErrCapacity, off, slot, f.numSeg)
-		}
-		f.c.Compute(f.pieceCPU)
-		if err := f.stageWrite(seg, segOff, data[:n]); err != nil {
-			return err
-		}
-		off += n
-		data = data[n:]
-	}
-	return nil
-}
-
-// stageWrite places one within-segment piece into the level-1 buffer,
-// flushing and realigning first when the piece belongs to a different
-// segment than the buffer is aligned with.
-func (f *File) stageWrite(seg, segOff int64, piece []byte) error {
-	if f.cfg.DisableLevel1 {
-		// Ablation: ship the piece immediately with its own one-sided op.
-		return f.ship(seg, []datatype.Segment{{Off: segOff, Len: int64(len(piece))}}, piece)
-	}
-	if f.l1Seg != seg {
-		if err := f.flushLevel1(); err != nil {
-			return err
-		}
-		f.l1Seg = seg
-	}
-	copy(f.l1Buf[segOff:segOff+int64(len(piece))], piece)
-	f.l1Blocks = append(f.l1Blocks, datatype.Segment{Off: segOff, Len: int64(len(piece))})
-	return nil
-}
-
-// flushLevel1 ships the level-1 buffer's cached blocks to the owning
-// level-2 segment as one indexed-datatype one-sided put.
-func (f *File) flushLevel1() error {
-	if f.l1Seg < 0 || len(f.l1Blocks) == 0 {
-		f.l1Seg = -1
-		f.l1Blocks = f.l1Blocks[:0]
-		return nil
-	}
-	blocks := datatype.Coalesce(f.l1Blocks)
-	payload := make([]byte, 0, f.segSize)
-	for _, b := range blocks {
-		payload = append(payload, f.l1Buf[b.Off:b.Off+b.Len]...)
-	}
-	err := f.ship(f.l1Seg, blocks, payload)
-	f.l1Seg = -1
-	f.l1Blocks = f.l1Blocks[:0]
-	return err
-}
-
-// ship performs the one-sided transfer of segment-relative runs into the
-// owner's window and records them as dirty.
-//
-// A shared lock suffices: different ranks put into disjoint byte ranges of
-// the segment (their own blocks), so concurrent epochs are safe. The epoch
-// is left open (recorded in openOwners) so that successive flushes to the
-// same owner pipeline; Flush and Close end all open epochs with one wave of
-// unlocks whose completion waits overlap.
-func (f *File) ship(seg int64, runs []datatype.Segment, payload []byte) error {
-	owner, slot := f.segmentOwner(seg)
-	if slot >= int64(f.numSeg) {
-		return fmt.Errorf("%w: segment %d needs slot %d of %d", ErrCapacity, seg, slot, f.numSeg)
-	}
-	winRuns := make([]datatype.Segment, len(runs))
-	for i, r := range runs {
-		winRuns[i] = datatype.Segment{Off: slot*f.segSize + r.Off, Len: r.Len}
-	}
-	t0 := f.c.Now()
-	if !f.win.Held(owner) {
-		// Bound the pipeline: retire the oldest epoch once the window of
-		// outstanding puts is full.
-		for len(f.openOwners) >= f.cfg.PipelineDepth {
-			oldest := f.openOwners[0]
-			f.openOwners = f.openOwners[1:]
-			if err := f.win.Unlock(oldest); err != nil {
-				return err
-			}
-		}
-		if err := f.win.Lock(owner, false); err != nil {
-			return err
-		}
-		f.openOwners = append(f.openOwners, owner)
-	}
-	t1 := f.c.Now()
-	if err := f.putSegmentsRetry(owner, seg, winRuns, payload); err != nil {
-		return err
-	}
-	t2 := f.c.Now()
-	f.stats.LockWait += t1.Sub(t0)
-	f.stats.PutIssue += t2.Sub(t1)
-	f.meta.addDirty(seg, runs)
-	f.stats.Level1Flush++
-	f.emit(trace.KindFlush, t0, int64(len(payload)), fmt.Sprintf("seg=%d owner=%d runs=%d", seg, owner, len(runs)))
-	return nil
-}
-
-// putSegmentsRetry issues one one-sided put, absorbing injected NIC
-// work-request drops (faults.SiteWinPut) with the file's retry policy. The
-// fault roll is keyed by this rank's shipment number so chaos runs replay
-// exactly; the backoff burns virtual compute time on the origin, as a real
-// sender re-posting a dropped work request would.
-func (f *File) putSegmentsRetry(owner int, seg int64, runs []datatype.Segment, payload []byte) error {
-	inj := f.c.Faults()
-	ship := f.shipCount
-	f.shipCount++
-	for attempt := 0; ; attempt++ {
-		if !inj.Should(faults.SiteWinPut, int64(f.c.Rank()), ship, int64(attempt)) {
-			return f.win.PutSegments(owner, runs, payload)
-		}
-		cause := inj.Fault(faults.SiteWinPut, "rank=%d seg=%d owner=%d", f.c.Rank(), seg, owner)
-		if attempt >= f.retry.MaxRetries {
-			return fmt.Errorf("tcio: ship segment %d to rank %d: %w",
-				seg, owner, faults.Exhausted(attempt, cause))
-		}
-		start := f.c.Now()
-		f.c.Compute(f.retry.Backoff(attempt + 1))
-		f.stats.Retries++
-		f.emit(trace.KindRetry, start, 0,
-			fmt.Sprintf("put seg=%d owner=%d attempt=%d", seg, owner, attempt+1))
-	}
-}
-
-// fsRetried folds one retried file system call into the rank's stats and
-// trace, wrapping exhaustion errors with the operation's context.
-func (f *File) fsRetried(op string, seg int64, start simtime.Time, retries int64, err error) error {
-	if retries > 0 {
-		f.stats.Retries += retries
-		f.emit(trace.KindRetry, start, 0, fmt.Sprintf("%s seg=%d retries=%d", op, seg, retries))
-	}
-	if err != nil {
-		return fmt.Errorf("tcio: %s segment %d: %w", op, seg, err)
-	}
-	return nil
-}
-
-// closeEpochs unlocks every open put epoch; the unlock completions overlap.
-func (f *File) closeEpochs() error {
-	t0 := f.c.Now()
-	var first error
-	for _, owner := range f.openOwners {
-		if err := f.win.Unlock(owner); err != nil && first == nil {
-			first = err
-		}
-	}
-	f.openOwners = f.openOwners[:0]
-	f.stats.UnlockWait += f.c.Now().Sub(t0)
-	return first
-}
-
 // Flush drains the level-1 buffer to the level-2 buffers on every rank.
 // It is collective (the paper's tcio_flush "invokes MPI_Barrier").
 func (f *File) Flush() error {
@@ -616,254 +332,6 @@ func (f *File) Flush() error {
 		if err := f.closeEpochs(); err != nil {
 			return err
 		}
-	}
-	return f.c.Barrier()
-}
-
-// Read records a lazy read of n bytes at the current pointer and returns
-// the destination buffer. The buffer's contents are defined only after
-// Fetch (or Close) — the paper's lazy-loading contract.
-func (f *File) Read(n int64) ([]byte, error) {
-	dst := make([]byte, n)
-	if err := f.ReadAt(f.pos, dst); err != nil {
-		return nil, err
-	}
-	f.pos += n
-	return dst, nil
-}
-
-// ReadAt records a lazy read filling dst from the given file offset
-// (tcio_read_at). Data lands in dst at the next Fetch, segment
-// realignment, or Close.
-func (f *File) ReadAt(off int64, dst []byte) error {
-	switch {
-	case f.closed:
-		return ErrClosed
-	case f.mode != ReadMode:
-		return fmt.Errorf("%w: read on %s handle", ErrMode, f.mode)
-	case off < 0:
-		return fmt.Errorf("tcio: negative offset %d", off)
-	}
-	f.stats.Reads++
-	f.stats.BytesRead += int64(len(dst))
-	f.emit(trace.KindRead, f.c.Now(), int64(len(dst)), fmt.Sprintf("off=%d", off))
-	for len(dst) > 0 {
-		seg := f.globalSegment(off)
-		segOff := off % f.segSize
-		n := f.segSize - segOff
-		if n > int64(len(dst)) {
-			n = int64(len(dst))
-		}
-		if _, slot := f.segmentOwner(seg); slot >= int64(f.numSeg) {
-			return fmt.Errorf("%w: offset %d needs slot %d of %d (raise NumSegments)",
-				ErrCapacity, off, slot, f.numSeg)
-		}
-		// Track the span of queued reads; once it exceeds the batch of
-		// segments, perform the real data movement (the "file domain of
-		// cached reads exceeds the level-1 buffer" rule, batched).
-		if f.pendingSeg != seg {
-			f.pendingDistinct++
-			f.pendingSeg = seg
-			if f.pendingDistinct > f.cfg.FetchBatch {
-				if err := f.Fetch(); err != nil {
-					return err
-				}
-				f.pendingDistinct = 1
-				f.pendingSeg = seg
-			}
-		}
-		f.c.Compute(f.pieceCPU)
-		f.pending = append(f.pending, readReq{off: off, dst: dst[:n]})
-		off += n
-		dst = dst[n:]
-	}
-	return nil
-}
-
-// Fetch completes all recorded lazy reads (tcio_fetch). It is independent:
-// only the calling rank participates. Gets for all queued segments are
-// issued asynchronously under concurrently held shared window locks — one
-// epoch per owner — so their wire times overlap instead of serializing.
-func (f *File) Fetch() error {
-	if f.closed {
-		return ErrClosed
-	}
-	if len(f.pending) == 0 {
-		f.pendingSeg = -1
-		f.pendingDistinct = 0
-		f.runPostFetch()
-		return nil
-	}
-	// Group by segment (requests may span several when a single ReadAt
-	// crossed a boundary).
-	bySeg := make(map[int64][]readReq)
-	var order []int64
-	for _, r := range f.pending {
-		seg := f.globalSegment(r.off)
-		if _, ok := bySeg[seg]; !ok {
-			order = append(order, seg)
-		}
-		bySeg[seg] = append(bySeg[seg], r)
-	}
-	f.pending = f.pending[:0]
-	f.pendingSeg = -1
-	f.pendingDistinct = 0
-
-	// Phase 1: make sure every needed segment is populated (only possible
-	// in demand mode; the default preloads at Open). Population needs the
-	// owner's exclusive lock.
-	for _, seg := range order {
-		if f.meta.isPopulated(seg) {
-			continue
-		}
-		owner, slot := f.segmentOwner(seg)
-		if err := f.win.Lock(owner, true); err != nil {
-			return err
-		}
-		if !f.meta.isPopulated(seg) {
-			if err := f.populate(seg, owner, slot); err != nil {
-				f.win.Unlock(owner)
-				return err
-			}
-		}
-		if err := f.win.Unlock(owner); err != nil {
-			return err
-		}
-	}
-
-	// Phase 2: shared-lock each owner once, issue every segment's get
-	// asynchronously, then unlock — Unlock synchronizes with the epoch's
-	// transfers, so the waits overlap across owners and segments.
-	type pendingGet struct {
-		handle *mpi.GetHandle
-		reqs   []readReq
-	}
-	owners := make(map[int]bool)
-	var lockOrder []int
-	for _, seg := range order {
-		owner, _ := f.segmentOwner(seg)
-		if !owners[owner] {
-			owners[owner] = true
-			lockOrder = append(lockOrder, owner)
-		}
-	}
-	for _, owner := range lockOrder {
-		if err := f.win.Lock(owner, false); err != nil {
-			return err
-		}
-	}
-	gets := make([]pendingGet, 0, len(order))
-	var issueErr error
-	for _, seg := range order {
-		owner, slot := f.segmentOwner(seg)
-		reqs := bySeg[seg]
-		runs := make([]datatype.Segment, len(reqs))
-		for i, r := range reqs {
-			runs[i] = datatype.Segment{Off: slot*f.segSize + r.off%f.segSize, Len: int64(len(r.dst))}
-		}
-		h, err := f.win.GetSegmentsAsync(owner, runs)
-		if err != nil {
-			issueErr = err
-			break
-		}
-		f.stats.Gets++
-		gets = append(gets, pendingGet{handle: h, reqs: reqs})
-	}
-	for _, owner := range lockOrder {
-		if err := f.win.Unlock(owner); err != nil && issueErr == nil {
-			issueErr = err
-		}
-	}
-	if issueErr != nil {
-		return issueErr
-	}
-	// All epochs are closed: every get's data is complete. Scatter it.
-	fetchStart := f.c.Now()
-	var fetched int64
-	for _, g := range gets {
-		data := g.handle.Complete()
-		at := int64(0)
-		for _, r := range g.reqs {
-			copy(r.dst, data[at:at+int64(len(r.dst))])
-			at += int64(len(r.dst))
-		}
-	}
-	for _, g := range gets {
-		for _, r := range g.reqs {
-			fetched += int64(len(r.dst))
-		}
-	}
-	f.emit(trace.KindFetch, fetchStart, fetched, fmt.Sprintf("segments=%d", len(gets)))
-	f.runPostFetch()
-	return nil
-}
-
-// runPostFetch fires and clears the typed-read unpack hooks.
-func (f *File) runPostFetch() {
-	hooks := f.postFetch
-	f.postFetch = nil
-	for _, h := range hooks {
-		h()
-	}
-}
-
-// populate loads one whole segment from the file system into its owner's
-// window — the aggregated read that makes TCIO's read path collective in
-// effect. The caller must hold the owner's exclusive window lock.
-func (f *File) populate(seg int64, owner int, slot int64) error {
-	pf := f.c.FS().Open(f.name)
-	base := seg * f.segSize
-	n := f.segSize
-	if size := pf.Size(); base+n > size {
-		n = size - base
-	}
-	if n <= 0 {
-		f.meta.setPopulated(seg)
-		return nil
-	}
-	buf := make([]byte, n)
-	start := f.c.Now()
-	end, retries, err := pf.ReadAtRetry(f.c.Node(), base, buf, start, f.retry)
-	f.c.AdvanceTo(end)
-	if err := f.fsRetried("populate", seg, start, retries, err); err != nil {
-		return err
-	}
-	if err := f.win.PutSegments(owner, []datatype.Segment{{Off: slot * f.segSize, Len: n}}, buf); err != nil {
-		return err
-	}
-	f.meta.setPopulated(seg)
-	f.stats.Populations++
-	f.emit(trace.KindPopulate, f.c.Now(), n, fmt.Sprintf("seg=%d", seg))
-	return nil
-}
-
-// preloadAll populates every local slot that overlaps the file — the eager
-// ablation. Each rank reads only its own segments, so the file system sees
-// P large disjoint requests.
-func (f *File) preloadAll() error {
-	pf := f.c.FS().Open(f.name)
-	size := pf.Size()
-	p := int64(f.c.Size())
-	for slot := int64(0); slot < int64(f.numSeg); slot++ {
-		seg := slot*p + int64(f.c.Rank())
-		base := seg * f.segSize
-		if base >= size {
-			break
-		}
-		n := f.segSize
-		if base+n > size {
-			n = size - base
-		}
-		buf := f.win.Local()[slot*f.segSize : slot*f.segSize+n]
-		start := f.c.Now()
-		end, retries, err := pf.ReadAtRetry(f.c.Node(), base, buf, start, f.retry)
-		f.c.AdvanceTo(end)
-		if err := f.fsRetried("preload", seg, start, retries, err); err != nil {
-			return err
-		}
-		f.meta.setPopulated(seg)
-		f.stats.Populations++
-		f.emit(trace.KindPopulate, start, n, fmt.Sprintf("seg=%d (preload)", seg))
 	}
 	return f.c.Barrier()
 }
@@ -901,31 +369,4 @@ func (f *File) Close() error {
 	f.c.Free(f.win.Local())
 	f.c.Free(f.l1Buf)
 	return opErr
-}
-
-// drain writes this rank's dirty level-2 runs to the file system.
-func (f *File) drain() error {
-	pf := f.c.FS().Open(f.name)
-	p := int64(f.c.Size())
-	local := f.win.Local()
-	for slot := int64(0); slot < int64(f.numSeg); slot++ {
-		seg := slot*p + int64(f.c.Rank())
-		runs := f.meta.dirtyRuns(seg)
-		if len(runs) == 0 {
-			continue
-		}
-		base := seg * f.segSize
-		for _, r := range runs {
-			data := local[slot*f.segSize+r.Off : slot*f.segSize+r.Off+r.Len]
-			start := f.c.Now()
-			end, retries, err := pf.WriteAtRetry(f.c.Node(), base+r.Off, data, start, f.retry)
-			f.c.AdvanceTo(end)
-			if err := f.fsRetried("drain", seg, start, retries, err); err != nil {
-				return err
-			}
-			f.stats.FSWrites++
-			f.emit(trace.KindDrain, f.c.Now(), r.Len, fmt.Sprintf("seg=%d off=%d", seg, base+r.Off))
-		}
-	}
-	return nil
 }
