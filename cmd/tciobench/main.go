@@ -8,6 +8,9 @@
 //	tciobench -tables            # Tables I, II, III
 //	tciobench -chaos -seed 7     # fault-injection sweep (seed-deterministic)
 //	tciobench -drainsweep        # drain fan-out vs virtual write time
+//	tciobench -overlap           # write-behind / prefetch overlap sweep
+//	tciobench -overlap -chaos    # overlap under faults (counts-only table)
+//	tciobench -overlap -json results/BENCH_pr3.json   # machine-readable results
 //	tciobench -all               # everything
 //	tciobench -procs 64,128 -len-sim 1048576 -len-real 4096   # custom sweep
 //
@@ -17,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +40,8 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the TCIO design-choice ablations")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep")
 		dsweep    = flag.Bool("drainsweep", false, "sweep TCIO drain fan-out on a multi-OST stripe")
+		overlap   = flag.Bool("overlap", false, "sweep write-behind and read-prefetch overlap settings")
+		jsonPath  = flag.String("json", "", "also write -overlap results as JSON to this path")
 		all       = flag.Bool("all", false, "run everything")
 		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
 		lenSim    = flag.Int("len-sim", 4<<20, "simulated LENarray (elements per array per process)")
@@ -49,21 +55,25 @@ func main() {
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
 	)
 	flag.Parse()
-	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*all {
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// "-overlap -chaos" (without -all) means the overlap chaos table alone,
+	// not the regular chaos sweep plus a clean overlap sweep.
+	overlapChaos := *overlap && *chaos && !*all
 	if err := run(*fig5 || *all, *fig6 || *all, *fig7 || *all, *tables || *all,
-		*ablations || *all, *chaos || *all, *dsweep || *all, *procs, *lenSim, *lenReal,
+		*ablations || *all, (*chaos || *all) && !overlapChaos, *dsweep || *all,
+		(*overlap || *all) && !overlapChaos, overlapChaos, *jsonPath, *procs, *lenSim, *lenReal,
 		*seed, *rates, *cprocs, *dworkers, *verify, *csv, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tciobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep bool, procsSpec string,
-	lenSim, lenReal int, seed int64, ratesSpec string, chaosProcs, drainWorkers int,
-	verify, csv, quiet bool) error {
+func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overlapChaos bool,
+	jsonPath, procsSpec string, lenSim, lenReal int, seed int64, ratesSpec string,
+	chaosProcs, drainWorkers int, verify, csv, quiet bool) error {
 	emit := func(t stats.Table) error {
 		if csv {
 			fmt.Printf("# %s\n", t.Title)
@@ -187,6 +197,50 @@ func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep bool, procsSpec 
 		}
 		if err := emit(t); err != nil {
 			return err
+		}
+	}
+
+	if overlap || overlapChaos {
+		oopts := bench.DefaultOverlap()
+		oopts.LenSim = lenSim
+		oopts.LenReal = lenReal
+		oopts.Verify = verify
+		oopts.Progress = progress
+		if drainWorkers > 0 {
+			oopts.Workers = drainWorkers
+		}
+		if overlapChaos {
+			t, err := bench.OverlapChaos(oopts, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		if overlap {
+			wt, rt, report, err := bench.Overlap(oopts)
+			if err != nil {
+				return err
+			}
+			if err := emit(wt); err != nil {
+				return err
+			}
+			if err := emit(rt); err != nil {
+				return err
+			}
+			if jsonPath != "" {
+				blob, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				if !quiet {
+					fmt.Fprintln(os.Stderr, "  ", "wrote", jsonPath)
+				}
+			}
 		}
 	}
 	return nil

@@ -214,20 +214,52 @@ func (w *Win) Put(target int, off int64, data []byte) error {
 // datatype: one network transfer regardless of the number of blocks.
 // data holds the blocks' bytes concatenated in segment order.
 func (w *Win) PutSegments(target int, segs []datatype.Segment, data []byte) error {
+	_, err := w.PutSegmentsAsync(target, segs, data)
+	return err
+}
+
+// PutHandle is an in-flight request-based put (MPI_Rput): the origin may
+// wait for this one transfer's local completion without closing the access
+// epoch it was issued in. Unlock still completes every put of the epoch, so
+// dropping a handle is always safe.
+type PutHandle struct {
+	c       *Comm
+	arrival simtime.Time
+}
+
+// Complete waits (in virtual time) for the transfer to retire.
+func (h *PutHandle) Complete() { h.c.clock().AdvanceTo(h.arrival) }
+
+// PendingArrival reports the latest completion time among the open epoch's
+// transfers to target, without waiting — zero when no epoch is open. It is
+// the observational counterpart of FlushLocal: background pipelines use it
+// to timestamp work that depends on the epoch's data without dragging the
+// origin's clock.
+func (w *Win) PendingArrival(target int) simtime.Time {
+	if h, ok := w.held[target]; ok {
+		return h.maxArrival
+	}
+	return 0
+}
+
+// PutSegmentsAsync is PutSegments returning an Rput-style handle, so a
+// pipelined origin can bound its outstanding transfers by retiring the
+// oldest handle instead of closing whole epochs.
+func (w *Win) PutSegmentsAsync(target int, segs []datatype.Segment, data []byte) (*PutHandle, error) {
 	h, err := w.epoch(target, "Put")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	buf := w.g.bufs[target]
 	var total int64
 	for _, s := range segs {
 		if s.Off < 0 || s.Off+s.Len > int64(len(buf)) {
-			return fmt.Errorf("mpi: Put segment [%d,%d) outside window of %d bytes", s.Off, s.Off+s.Len, len(buf))
+			return nil, fmt.Errorf("mpi: Put segment [%d,%d) outside window of %d bytes", s.Off, s.Off+s.Len, len(buf))
 		}
 		total += s.Len
 	}
 	if total != int64(len(data)) {
-		return fmt.Errorf("mpi: Put %d bytes for segments totalling %d", len(data), total)
+		return nil, fmt.Errorf("mpi: Put %d bytes for segments totalling %d", len(data), total)
 	}
 	pos := int64(0)
 	for _, s := range segs {
@@ -241,6 +273,19 @@ func (w *Win) PutSegments(target int, segs []datatype.Segment, data []byte) erro
 	if arrival > h.maxArrival {
 		h.maxArrival = arrival
 	}
+	return &PutHandle{c: w.c, arrival: arrival}, nil
+}
+
+// FlushLocal completes all outstanding operations this rank issued to
+// target in the current access epoch, at the origin (MPI_Win_flush_local):
+// the caller's clock waits for their transfers without releasing the lock,
+// so the epoch can keep pipelining afterwards.
+func (w *Win) FlushLocal(target int) error {
+	h, err := w.epoch(target, "FlushLocal")
+	if err != nil {
+		return err
+	}
+	w.c.clock().AdvanceTo(h.maxArrival)
 	return nil
 }
 

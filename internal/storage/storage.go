@@ -134,6 +134,23 @@ func (c *Client) WriteExtents(op string, kind trace.Kind, reqs []Request) (Resul
 	return c.run(op, kind, reqs, true)
 }
 
+// ReadExtentsFrom issues the batch departing at start without touching the
+// caller's clock, and returns the batch's completion time alongside the
+// result. This is the detached-start path backing the overlap pipeline:
+// tcio's write-behind and prefetch lanes charge transfers to a background
+// timeline and synchronize with it only when the caller actually needs the
+// outcome. The request set, ordering, and fault-roll identity are exactly
+// those of ReadExtents; only whose clock pays is different.
+func (c *Client) ReadExtentsFrom(op string, kind trace.Kind, reqs []Request, start simtime.Time) (Result, simtime.Time, error) {
+	return c.runFrom(op, kind, reqs, false, start)
+}
+
+// WriteExtentsFrom is the detached-start variant of WriteExtents; see
+// ReadExtentsFrom.
+func (c *Client) WriteExtentsFrom(op string, kind trace.Kind, reqs []Request, start simtime.Time) (Result, simtime.Time, error) {
+	return c.runFrom(op, kind, reqs, true, start)
+}
+
 // ReadAt is a single-request ReadExtents convenience.
 func (c *Client) ReadAt(op string, off int64, dst []byte) error {
 	_, err := c.ReadExtents(op, trace.KindFetch, []Request{{Off: off, Data: dst}})
@@ -150,10 +167,22 @@ func (c *Client) run(op string, kind trace.Kind, reqs []Request, write bool) (Re
 	if len(reqs) == 0 {
 		return Result{}, nil
 	}
-	if c.Workers() > 1 && len(reqs) > 1 {
-		return c.runParallel(op, kind, reqs, write)
+	res, end, err := c.runFrom(op, kind, reqs, write, c.clock.Now())
+	c.clock.AdvanceTo(end)
+	return res, err
+}
+
+// runFrom issues the batch from an explicit departure time and reports its
+// makespan end instead of advancing any clock — the shared engine under
+// both the synchronous entry points and the detached-start lanes.
+func (c *Client) runFrom(op string, kind trace.Kind, reqs []Request, write bool, start simtime.Time) (Result, simtime.Time, error) {
+	if len(reqs) == 0 {
+		return Result{}, start, nil
 	}
-	return c.runSerial(op, kind, reqs, write)
+	if c.Workers() > 1 && len(reqs) > 1 {
+		return c.runParallel(op, kind, reqs, write, start)
+	}
+	return c.runSerial(op, kind, reqs, write, start)
 }
 
 // issue performs one request departing at now and returns its completion
@@ -204,27 +233,28 @@ func (c *Client) finish(op string, kind trace.Kind, r Request, start, end simtim
 	return nil
 }
 
-// runSerial issues the batch one request at a time, advancing the clock
-// after each — the classic loop, kept bit-identical for Workers <= 1.
-func (c *Client) runSerial(op string, kind trace.Kind, reqs []Request, write bool) (Result, error) {
+// runSerial issues the batch one request at a time, each departing when the
+// previous completed — the classic loop, kept bit-identical for Workers <= 1.
+func (c *Client) runSerial(op string, kind trace.Kind, reqs []Request, write bool, start simtime.Time) (Result, simtime.Time, error) {
 	var res Result
+	now := start
 	for _, r := range reqs {
-		start := c.clock.Now()
-		end, retries, err := c.issue(r, start, write)
-		c.clock.AdvanceTo(end)
-		if ferr := c.finish(op, kind, r, start, end, retries, err, &res); ferr != nil {
-			return res, ferr
+		depart := now
+		end, retries, err := c.issue(r, depart, write)
+		now = end
+		if ferr := c.finish(op, kind, r, depart, end, retries, err, &res); ferr != nil {
+			return res, now, ferr
 		}
 	}
-	return res, nil
+	return res, now, nil
 }
 
 // runParallel fans the batch out across per-OST workers. All workers start
-// at the caller's current instant; each walks its OST groups serially,
+// at the batch's departure instant; each walks its OST groups serially,
 // accumulating virtual time within the group exactly as the serial path
-// does, so requests only overlap across distinct OSTs. The caller's clock
-// advances to the latest completion — the fan-out's makespan.
-func (c *Client) runParallel(op string, kind trace.Kind, reqs []Request, write bool) (Result, error) {
+// does, so requests only overlap across distinct OSTs. The reported end is
+// the latest completion — the fan-out's makespan.
+func (c *Client) runParallel(op string, kind trace.Kind, reqs []Request, write bool, start simtime.Time) (Result, simtime.Time, error) {
 	// Group requests by serving OST, preserving request order per group and
 	// ordering groups by OST index so the worker assignment is deterministic.
 	groupOf := make(map[int]int)
@@ -260,7 +290,6 @@ func (c *Client) runParallel(op string, kind trace.Kind, reqs []Request, write b
 		end simtime.Time
 		err error
 	}
-	start := c.clock.Now()
 	lanes := make([]lane, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -302,6 +331,5 @@ func (c *Client) runParallel(op string, kind trace.Kind, reqs []Request, write b
 			firstErr = ln.err
 		}
 	}
-	c.clock.AdvanceTo(maxEnd)
-	return res, firstErr
+	return res, maxEnd, firstErr
 }

@@ -79,14 +79,17 @@ func (f *File) preloadAll() error {
 	return f.c.Barrier()
 }
 
-// drain writes this rank's dirty level-2 runs to the file system as one
-// storage batch of large aligned requests.
+// drain writes this rank's still-undrained level-2 runs to the file system
+// as one storage batch of large aligned requests. With write-behind armed,
+// most segments already left on the background lane and only the residue
+// remains; the rank then synchronizes with the lane so Close returns with
+// every byte on disk.
 func (f *File) drain() error {
 	local := f.win.Local()
 	var reqs []storage.Request
 	for slot := int64(0); slot < int64(f.numSeg); slot++ {
 		seg := f.layout.RankSegment(f.c.Rank(), slot)
-		runs := f.meta.dirtyRuns(seg)
+		runs := f.meta.takePending(seg)
 		if len(runs) == 0 {
 			continue
 		}
@@ -102,5 +105,7 @@ func (f *File) drain() error {
 	res, err := f.store.WriteExtents("tcio: drain", trace.KindDrain, reqs)
 	f.stats.Retries += res.Retries
 	f.stats.FSWrites += res.Requests
+	f.stats.FlushResidue += res.Requests
+	f.settleWriteBehind()
 	return err
 }

@@ -6,22 +6,27 @@ package tcio
 // Config.PipelineDepth.
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/trace"
 )
 
 // l2meta is the bookkeeping shared by all ranks of one TCIO file: which
-// parts of each global segment hold buffered data (dirty, writes) and which
-// segments have been populated from the file system (reads). Access is
-// serialized by the window lock discipline plus an internal mutex.
+// parts of each global segment hold buffered data (dirty, writes), which of
+// those runs have not reached the file system yet (pending — the write-
+// behind lane consumes them), and which segments have been populated from
+// the file system (reads). Access is serialized by the window lock
+// discipline plus an internal mutex.
 type l2meta struct {
 	mu        sync.Mutex
 	dirty     map[int64][]extent.Extent // global segment -> runs (segment-relative)
+	pending   map[int64][]extent.Extent // dirty runs not yet drained
 	populated map[int64]bool
 }
 
@@ -29,12 +34,47 @@ func (m *l2meta) addDirty(seg int64, runs []extent.Extent) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dirty[seg] = extent.Coalesce(append(m.dirty[seg], runs...))
+	m.pending[seg] = extent.Coalesce(append(m.pending[seg], runs...))
 }
 
 func (m *l2meta) dirtyRuns(seg int64) []extent.Extent {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.dirty[seg]
+}
+
+// hasDirty reports whether the segment still has undrained runs — the
+// prefetch cache refuses to evict such segments.
+func (m *l2meta) hasDirty(seg int64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending[seg]) > 0
+}
+
+// takePending removes and returns the segment's undrained runs. The final
+// drain uses it directly; runs written after an eager drain re-enter
+// pending, so rewrites are drained again and the last bytes always win.
+func (m *l2meta) takePending(seg int64) []extent.Extent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	runs := m.pending[seg]
+	delete(m.pending, seg)
+	return runs
+}
+
+// takeCovered is takePending gated on coverage: it removes and returns the
+// undrained runs only when they total at least need bytes — the write-
+// behind trigger, evaluated and consumed under one lock so two checks can
+// never drain the same runs twice.
+func (m *l2meta) takeCovered(seg int64, need int64) []extent.Extent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	runs := m.pending[seg]
+	if extent.Total(runs) < need {
+		return nil
+	}
+	delete(m.pending, seg)
+	return runs
 }
 
 func (m *l2meta) isPopulated(seg int64) bool {
@@ -80,13 +120,18 @@ func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
 		winRuns[i] = extent.Extent{Off: slot*f.segSize + r.Off, Len: r.Len}
 	}
 	t0 := f.c.Now()
-	if !f.win.Held(owner) {
-		// Bound the pipeline: retire the oldest epoch once the window of
-		// outstanding puts is full.
+	if f.win.Held(owner) {
+		// Reuse marks the epoch hot: move it to the back of the LRU order
+		// so eviction hits the coldest target, not the hottest.
+		f.touchEpoch(owner)
+	} else {
+		// Bound the open epochs: evict the least-recently-used one once
+		// the window is full.
 		for len(f.openOwners) >= f.cfg.PipelineDepth {
-			oldest := f.openOwners[0]
+			coldest := f.openOwners[0]
 			f.openOwners = f.openOwners[1:]
-			if err := f.win.Unlock(oldest); err != nil {
+			f.stats.EpochEvictions++
+			if err := f.win.Unlock(coldest); err != nil {
 				return err
 			}
 		}
@@ -95,17 +140,36 @@ func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
 		}
 		f.openOwners = append(f.openOwners, owner)
 	}
+	// Bound the outstanding transfers, independently of the epochs: retire
+	// the oldest Rput handle when the pipeline window is full.
+	for len(f.inflight) >= f.cfg.PipelineDepth {
+		f.inflight[0].Complete()
+		f.inflight = f.inflight[1:]
+	}
 	t1 := f.c.Now()
-	if err := f.putSegmentsRetry(owner, seg, winRuns, payload); err != nil {
+	h, err := f.putSegmentsRetry(owner, seg, winRuns, payload)
+	if err != nil {
 		return err
 	}
+	f.inflight = append(f.inflight, h)
 	t2 := f.c.Now()
 	f.stats.LockWait += t1.Sub(t0)
 	f.stats.PutIssue += t2.Sub(t1)
 	f.meta.addDirty(seg, runs)
 	f.stats.Level1Flush++
 	f.emit(trace.KindFlush, t0, int64(len(payload)), fmt.Sprintf("seg=%d owner=%d runs=%d", seg, owner, len(runs)))
-	return nil
+	return f.maybeWriteBehind()
+}
+
+// touchEpoch moves owner to the most-recently-used end of openOwners.
+func (f *File) touchEpoch(owner int) {
+	for i, o := range f.openOwners {
+		if o == owner {
+			copy(f.openOwners[i:], f.openOwners[i+1:])
+			f.openOwners[len(f.openOwners)-1] = owner
+			return
+		}
+	}
 }
 
 // putSegmentsRetry issues one one-sided put, absorbing injected NIC
@@ -113,11 +177,12 @@ func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
 // driver. The fault roll is keyed by this rank's shipment number so chaos
 // runs replay exactly; each backoff burns virtual time on the origin, as a
 // real sender re-posting a dropped work request would.
-func (f *File) putSegmentsRetry(owner int, seg int64, runs []extent.Extent, payload []byte) error {
+func (f *File) putSegmentsRetry(owner int, seg int64, runs []extent.Extent, payload []byte) (*mpi.PutHandle, error) {
 	inj := f.c.Faults()
 	ship := f.shipCount
 	f.shipCount++
 	start := f.c.Now()
+	var handle *mpi.PutHandle
 	end, retries, err := faults.Retry(start, f.retry,
 		func(at simtime.Time, attempt int64) (simtime.Time, error) {
 			f.c.AdvanceTo(at) // charge the preceding backoff, if any
@@ -125,7 +190,9 @@ func (f *File) putSegmentsRetry(owner int, seg int64, runs []extent.Extent, payl
 				return f.c.Now(), inj.Fault(faults.SiteWinPut, "rank=%d seg=%d owner=%d",
 					f.c.Rank(), seg, owner)
 			}
-			return f.c.Now(), f.win.PutSegments(owner, runs, payload)
+			var perr error
+			handle, perr = f.win.PutSegmentsAsync(owner, runs, payload)
+			return f.c.Now(), perr
 		})
 	f.c.AdvanceTo(end)
 	if retries > 0 {
@@ -134,21 +201,24 @@ func (f *File) putSegmentsRetry(owner int, seg int64, runs []extent.Extent, payl
 			fmt.Sprintf("put seg=%d owner=%d retries=%d", seg, owner, retries))
 	}
 	if err != nil {
-		return fmt.Errorf("tcio: ship segment %d to rank %d: %w", seg, owner, err)
+		return nil, fmt.Errorf("tcio: ship segment %d to rank %d: %w", seg, owner, err)
 	}
-	return nil
+	return handle, nil
 }
 
 // closeEpochs unlocks every open put epoch; the unlock completions overlap.
+// All unlock errors are reported, joined — under chaos, a failure on one
+// target must not mask failures on the others.
 func (f *File) closeEpochs() error {
 	t0 := f.c.Now()
-	var first error
+	var errs []error
 	for _, owner := range f.openOwners {
-		if err := f.win.Unlock(owner); err != nil && first == nil {
-			first = err
+		if err := f.win.Unlock(owner); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	f.openOwners = f.openOwners[:0]
+	f.inflight = f.inflight[:0] // unlocks completed every outstanding put
 	f.stats.UnlockWait += f.c.Now().Sub(t0)
-	return first
+	return errors.Join(errs...)
 }

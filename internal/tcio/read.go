@@ -132,9 +132,14 @@ func (f *File) Fetch() error {
 
 	// Phase 1: make sure every needed segment is populated (only possible
 	// in demand mode; the default preloads at Open). Population needs the
-	// owner's exclusive lock.
-	for _, seg := range order {
+	// owner's exclusive lock. With prefetch armed, each step serves the
+	// current segment (from the cache when it was staged in time), then
+	// pushes the background lane ahead over the batch's forward-consecutive
+	// successors — after the current segment's read, so the rank's file
+	// system request order is exactly the demand loop's.
+	for i, seg := range order {
 		if f.meta.isPopulated(seg) {
+			f.dropWastedPrefetch(seg)
 			continue
 		}
 		owner, slot := f.segmentOwner(seg)
@@ -142,10 +147,21 @@ func (f *File) Fetch() error {
 			return err
 		}
 		if !f.meta.isPopulated(seg) {
-			if err := f.populate(seg, owner, slot); err != nil {
-				f.win.Unlock(owner)
-				return err
+			var perr error
+			if e, ok := f.takePrefetched(seg); ok {
+				perr = f.populateFromCache(seg, owner, slot, e)
+			} else {
+				perr = f.populate(seg, owner, slot)
 			}
+			if perr == nil {
+				perr = f.maybePrefetch(order, i)
+			}
+			if perr != nil {
+				f.win.Unlock(owner)
+				return perr
+			}
+		} else {
+			f.dropWastedPrefetch(seg)
 		}
 		if err := f.win.Unlock(owner); err != nil {
 			return err

@@ -15,12 +15,29 @@ type Stats struct {
 	Level1Flush  int64 // level-1 -> level-2 shipments (one-sided puts)
 	Gets         int64 // level-2 -> application transfers (one-sided gets)
 	Populations  int64 // segments demand-populated from the file system
-	FSWrites     int64 // file system write requests at Close/drain
+	FSWrites     int64 // file system write requests (eager drains + Close/drain)
 	BytesWritten int64
 	BytesRead    int64
 	// Retries counts transient faults this rank absorbed with backoff
 	// across all library paths (file system RPCs and one-sided puts).
 	Retries int64
+
+	// Write-behind pipeline (Config.WriteBehindThreshold > 0).
+	EagerDrains  int64 // segments drained on the background lane before Close
+	FlushResidue int64 // file system write requests left for the final drain
+	// OverlapSaved is the background lane's busy time minus the waits the
+	// rank actually paid for it (backpressure plus the final drain's
+	// synchronization) — the drain work hidden behind the application.
+	OverlapSaved simtime.Duration
+
+	// Read prefetch (Config.PrefetchSegments > 0).
+	PrefetchIssued int64 // segment reads started on the background lane
+	PrefetchHits   int64 // populations served from the prefetch cache
+	PrefetchWasted int64 // prefetched segments another rank populated first
+
+	// EpochEvictions counts put epochs closed early because the pipeline
+	// window was full — churn the LRU eviction policy is meant to minimize.
+	EpochEvictions int64
 
 	// Virtual time spent in the phases of level-1 -> level-2 shipment,
 	// for performance diagnosis and the ablation reports.

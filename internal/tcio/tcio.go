@@ -119,6 +119,30 @@ type Config struct {
 	// its transfer). This models a bounded NIC queue: TCIO paces its
 	// traffic instead of bursting like the two-phase exchange. 0 means 8.
 	PipelineDepth int
+	// WriteBehindThreshold arms the eager background drain: once the
+	// not-yet-drained runs of a level-2 segment cover at least this
+	// fraction of it, the owning rank drains the segment on a background
+	// lane instead of waiting for Close, so the final drain only handles
+	// the residue. 1 drains only fully covered segments (which keeps the
+	// file system request identity bit-identical to the synchronous
+	// drain); 0 disables write-behind (the default).
+	WriteBehindThreshold float64
+	// WriteBehindQueue bounds the eager drains in flight on the background
+	// queue; enqueueing past the bound waits for the earliest in-flight
+	// batch (backpressure). 0 means 32, roughly a block layer's request
+	// queue; small values throttle the application whenever the OSTs run
+	// behind.
+	WriteBehindQueue int
+	// PrefetchSegments makes the demand-populate read path look ahead:
+	// when Fetch walks forward-consecutive segments, up to this many
+	// upcoming segment reads are issued on a background lane so the file
+	// system time hides behind the window traffic. Only segments the batch
+	// already demands are read — never speculative ones — so the request
+	// stream's identity is unchanged. 0 disables prefetch (the default).
+	PrefetchSegments int
+	// MaxCachedSegments caps the prefetch cache (LRU). Eviction refuses
+	// segments with undrained dirty runs. 0 means PrefetchSegments.
+	MaxCachedSegments int
 	// EmulateTwoSided is an ablation switch: level-1 <-> level-2 transfers
 	// are charged as two-sided (matched send/receive) messages instead of
 	// one-sided RDMA, isolating the paper's claim that one-sided
@@ -176,11 +200,30 @@ type File struct {
 	l1Seg    int64 // aligned global segment; -1 when empty
 	l1Buf    []byte
 	l1Blocks []extent.Extent // segment-relative cached runs
-	// openOwners lists the targets with an open shared put epoch.
+	// openOwners lists the targets with an open shared put epoch, in
+	// least-recently-used order (front = coldest, evicted first).
 	openOwners []int
+	// inflight is the window of outstanding Rput handles; PipelineDepth
+	// bounds its length, retiring the oldest transfer when full.
+	inflight []*mpi.PutHandle
 	// shipCount numbers this rank's one-sided shipments; it keys the
 	// deterministic fault rolls of the put path.
 	shipCount int64
+
+	// Write-behind lane (WriteBehindThreshold > 0): laneFree is when the
+	// background drain lane frees up, outstanding the completion times of
+	// enqueued eager batches, busy/waited the accounting behind
+	// Stats.OverlapSaved.
+	wbLaneFree    simtime.Time
+	wbOutstanding []simtime.Time
+	wbBusy        simtime.Duration
+	wbWaited      simtime.Duration
+
+	// Prefetch lane (PrefetchSegments > 0): segment staging buffers read
+	// ahead of demand, keyed by global segment, in LRU insertion order.
+	prefetched  map[int64]*prefetchEntry
+	prefetchLRU []int64
+	pfLaneFree  simtime.Time
 
 	// Lazy read queue. pendingSeg is the most recent segment touched;
 	// pendingDistinct counts the distinct segments queued, which triggers
@@ -230,6 +273,24 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if cfg.DrainWorkers < 0 {
 		return nil, fmt.Errorf("tcio: drain workers %d", cfg.DrainWorkers)
 	}
+	if cfg.WriteBehindThreshold < 0 || cfg.WriteBehindThreshold > 1 {
+		return nil, fmt.Errorf("tcio: write-behind threshold %g", cfg.WriteBehindThreshold)
+	}
+	if cfg.WriteBehindQueue == 0 {
+		cfg.WriteBehindQueue = 32
+	}
+	if cfg.WriteBehindQueue < 1 {
+		return nil, fmt.Errorf("tcio: write-behind queue %d", cfg.WriteBehindQueue)
+	}
+	if cfg.PrefetchSegments < 0 {
+		return nil, fmt.Errorf("tcio: prefetch segments %d", cfg.PrefetchSegments)
+	}
+	if cfg.MaxCachedSegments == 0 {
+		cfg.MaxCachedSegments = cfg.PrefetchSegments
+	}
+	if cfg.MaxCachedSegments < 0 {
+		return nil, fmt.Errorf("tcio: max cached segments %d", cfg.MaxCachedSegments)
+	}
 	retry := faults.DefaultRetryPolicy()
 	if cfg.Retry != nil {
 		retry = *cfg.Retry
@@ -252,7 +313,11 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 		return nil, err
 	}
 	shared, err := c.SharedOnce(func() interface{} {
-		return &l2meta{dirty: make(map[int64][]extent.Extent), populated: make(map[int64]bool)}
+		return &l2meta{
+			dirty:     make(map[int64][]extent.Extent),
+			pending:   make(map[int64][]extent.Extent),
+			populated: make(map[int64]bool),
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -286,6 +351,13 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	}
 	if cfg.EmulateTwoSided {
 		win.SetClass(netsim.TwoSided)
+	}
+	if cfg.PrefetchSegments > 0 {
+		// Plain staging memory, like populate's: the cache is transient
+		// library scratch, deliberately outside the simulated-memory
+		// accountant so arming prefetch cannot shift the per-rank
+		// allocation fault stream (see DESIGN.md §2b).
+		f.prefetched = make(map[int64]*prefetchEntry)
 	}
 	f.pendingSeg = -1
 	if mode == ReadMode && !cfg.DemandPopulate {

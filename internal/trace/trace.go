@@ -28,6 +28,7 @@ const (
 	KindPopulate Kind = "populate" // segment loaded from the file system
 	KindDrain    Kind = "drain"    // level-2 -> file system write
 	KindRetry    Kind = "retry"    // transient fault absorbed by backoff
+	KindPrefetch Kind = "prefetch" // segment read ahead on the background lane
 )
 
 // Event is one recorded operation.
