@@ -69,6 +69,7 @@ type OverlapWritePoint struct {
 	VirtualTimeNs  int64   `json:"virtual_time_ns"`
 	MBs            float64 `json:"mbs"`
 	EagerDrains    int64   `json:"eager_drains"`
+	EagerWrites    int64   `json:"eager_write_requests"`
 	FlushResidue   int64   `json:"flush_residue_requests"`
 	OverlapSavedNs int64   `json:"overlap_saved_ns"`
 	FSWrites       int64   `json:"fs_writes"`
@@ -174,6 +175,7 @@ func (a *overlapStats) add(st tcio.Stats) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.sum.EagerDrains += st.EagerDrains
+	a.sum.EagerWrites += st.EagerWrites
 	a.sum.FlushResidue += st.FlushResidue
 	a.sum.Populations += st.Populations
 	a.sum.PrefetchIssued += st.PrefetchIssued
@@ -349,7 +351,7 @@ func Overlap(opts OverlapOptions) (stats.Table, stats.Table, *OverlapReport, err
 		Title: fmt.Sprintf("Overlap: eager write-behind, %d processes, stripe over %d OSTs, %d drain workers",
 			opts.Procs, opts.StripeCount, opts.Workers),
 		Headers: []string{"wb-threshold", "write-time", "write-MB/s", "eager-drains",
-			"residue-reqs", "overlap-saved", "fs-writes", "result"},
+			"eager-writes", "residue-reqs", "overlap-saved", "fs-writes", "result"},
 	}
 	rt := stats.Table{
 		Title: fmt.Sprintf("Overlap: sequential read prefetch, %d processes, stripe over %d OSTs, %d drain workers",
@@ -381,6 +383,7 @@ func Overlap(opts OverlapOptions) (stats.Table, stats.Table, *OverlapReport, err
 			pr.Time.String(),
 			fmt.Sprintf("%.1f", pr.MBs),
 			fmt.Sprintf("%d", st.EagerDrains),
+			fmt.Sprintf("%d", st.EagerWrites),
 			fmt.Sprintf("%d", st.FlushResidue),
 			st.OverlapSaved.String(),
 			fmt.Sprintf("%d", pr.FS.Writes),
@@ -391,6 +394,7 @@ func Overlap(opts OverlapOptions) (stats.Table, stats.Table, *OverlapReport, err
 			VirtualTimeNs:  int64(pr.Time),
 			MBs:            pr.MBs,
 			EagerDrains:    st.EagerDrains,
+			EagerWrites:    st.EagerWrites,
 			FlushResidue:   st.FlushResidue,
 			OverlapSavedNs: int64(st.OverlapSaved),
 			FSWrites:       pr.FS.Writes,

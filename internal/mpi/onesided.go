@@ -89,11 +89,15 @@ func (l *winLock) release(exclusive bool, at simtime.Time) {
 func (l *winLock) wake() { l.cond.Broadcast() }
 
 // winGlobal is the world-wide state of one window: every rank's exposed
-// memory and per-target locks.
+// memory and per-target locks. datamu serializes the physical (real-time)
+// copies into and out of each target's buffer: the virtual-time epoch
+// discipline orders transfers logically, but rewrite traffic means two
+// goroutines can touch the same bytes at the same wall-clock instant.
 type winGlobal struct {
-	id    int
-	bufs  [][]byte
-	locks []*winLock
+	id     int
+	bufs   [][]byte
+	datamu []sync.Mutex
+	locks  []*winLock
 }
 
 // Win is one rank's handle on a window.
@@ -124,7 +128,11 @@ const perSegmentCPU = 60 * simtime.Nanosecond
 // by remote ranks only between Lock and Unlock.
 func (c *Comm) WinCreate(local []byte) (*Win, error) {
 	res, err := c.collect(local, func(vals []interface{}) interface{} {
-		g := &winGlobal{bufs: make([][]byte, len(vals)), locks: make([]*winLock, len(vals))}
+		g := &winGlobal{
+			bufs:   make([][]byte, len(vals)),
+			datamu: make([]sync.Mutex, len(vals)),
+			locks:  make([]*winLock, len(vals)),
+		}
 		for i, raw := range vals {
 			g.bufs[i], _ = raw.([]byte)
 			g.locks[i] = newWinLock()
@@ -146,6 +154,20 @@ func (w *Win) Size(target int) int64 { return int64(len(w.g.bufs[target])) }
 
 // Local returns this rank's own exposed window memory.
 func (w *Win) Local() []byte { return w.g.bufs[w.c.rank] }
+
+// SnapshotLocal returns a private copy of [off, off+n) of this rank's own
+// window memory, serialized against the physical copies of concurrent
+// remote puts. Background lanes that read window memory outside any access
+// epoch (tcio's eager write-behind) must use it instead of slicing Local():
+// a rewrite put landing mid-read would otherwise be a data race.
+func (w *Win) SnapshotLocal(off, n int64) []byte {
+	out := make([]byte, n)
+	mu := &w.g.datamu[w.c.rank]
+	mu.Lock()
+	copy(out, w.g.bufs[w.c.rank][off:off+n])
+	mu.Unlock()
+	return out
+}
 
 // Lock opens an access epoch on target's window (MPI_Win_lock). exclusive
 // corresponds to MPI_LOCK_EXCLUSIVE; otherwise MPI_LOCK_SHARED.
@@ -230,6 +252,12 @@ type PutHandle struct {
 // Complete waits (in virtual time) for the transfer to retire.
 func (h *PutHandle) Complete() { h.c.clock().AdvanceTo(h.arrival) }
 
+// Arrival reports when the transfer retires at the target, without
+// waiting. Pipelines that record where data will be use it to timestamp
+// dependent work — tcio's write-behind stores it with each dirty run so
+// the owner never drains bytes before their virtual-time arrival.
+func (h *PutHandle) Arrival() simtime.Time { return h.arrival }
+
 // PendingArrival reports the latest completion time among the open epoch's
 // transfers to target, without waiting — zero when no epoch is open. It is
 // the observational counterpart of FlushLocal: background pipelines use it
@@ -261,11 +289,14 @@ func (w *Win) PutSegmentsAsync(target int, segs []datatype.Segment, data []byte)
 	if total != int64(len(data)) {
 		return nil, fmt.Errorf("mpi: Put %d bytes for segments totalling %d", len(data), total)
 	}
+	mu := &w.g.datamu[target]
+	mu.Lock()
 	pos := int64(0)
 	for _, s := range segs {
 		copy(buf[s.Off:s.Off+s.Len], data[pos:pos+s.Len])
 		pos += s.Len
 	}
+	mu.Unlock()
 	depart := w.c.clock().Advance(sendOverhead + simtime.Duration(len(segs))*perSegmentCPU)
 	arrival := w.c.w.net.Transfer(
 		w.c.w.machine.NodeOf(w.c.rank), w.c.w.machine.NodeOf(target),
@@ -338,9 +369,12 @@ func (w *Win) GetSegmentsAsync(target int, segs []datatype.Segment) (*GetHandle,
 		total += s.Len
 	}
 	out := make([]byte, 0, total)
+	mu := &w.g.datamu[target]
+	mu.Lock()
 	for _, s := range segs {
 		out = append(out, buf[s.Off:s.Off+s.Len]...)
 	}
+	mu.Unlock()
 	depart := w.c.clock().Advance(sendOverhead + simtime.Duration(len(segs))*perSegmentCPU)
 	arrival := w.c.w.net.Transfer(
 		w.c.w.machine.NodeOf(target), w.c.w.machine.NodeOf(w.c.rank),

@@ -89,10 +89,14 @@ func (f *File) drain() error {
 	var reqs []storage.Request
 	for slot := int64(0); slot < int64(f.numSeg); slot++ {
 		seg := f.layout.RankSegment(f.c.Rank(), slot)
-		runs := f.meta.takePending(seg)
+		runs, arrival := f.meta.takePending(seg)
 		if len(runs) == 0 {
 			continue
 		}
+		// The barrier before drain already synchronized every rank past its
+		// unlocks, so the recorded put arrivals are in this rank's past;
+		// AdvanceTo keeps the causal bound explicit (and free) regardless.
+		f.c.AdvanceTo(arrival)
 		base := f.layout.SegStart(seg)
 		for _, r := range runs {
 			reqs = append(reqs, storage.Request{

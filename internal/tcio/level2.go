@@ -28,13 +28,23 @@ type l2meta struct {
 	dirty     map[int64][]extent.Extent // global segment -> runs (segment-relative)
 	pending   map[int64][]extent.Extent // dirty runs not yet drained
 	populated map[int64]bool
+	// arrival is, per segment, the latest virtual-time put arrival among
+	// its pending runs. The origin records it at issue time (it knows the
+	// handle's arrival); whoever drains the runs must not depart before it
+	// — the data is not in the owner's window, in virtual time, until then.
+	arrival map[int64]simtime.Time
 }
 
-func (m *l2meta) addDirty(seg int64, runs []extent.Extent) {
+// addDirty records freshly shipped runs and the virtual time their put
+// retires at the target, so a drain consuming them can respect causality.
+func (m *l2meta) addDirty(seg int64, runs []extent.Extent, at simtime.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dirty[seg] = extent.Coalesce(append(m.dirty[seg], runs...))
 	m.pending[seg] = extent.Coalesce(append(m.pending[seg], runs...))
+	if at > m.arrival[seg] {
+		m.arrival[seg] = at
+	}
 }
 
 func (m *l2meta) dirtyRuns(seg int64) []extent.Extent {
@@ -51,30 +61,35 @@ func (m *l2meta) hasDirty(seg int64) bool {
 	return len(m.pending[seg]) > 0
 }
 
-// takePending removes and returns the segment's undrained runs. The final
-// drain uses it directly; runs written after an eager drain re-enter
-// pending, so rewrites are drained again and the last bytes always win.
-func (m *l2meta) takePending(seg int64) []extent.Extent {
+// takePending removes and returns the segment's undrained runs and their
+// latest put arrival. The final drain uses it directly; runs written after
+// an eager drain re-enter pending, so rewrites are drained again and the
+// last bytes always win.
+func (m *l2meta) takePending(seg int64) ([]extent.Extent, simtime.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	runs := m.pending[seg]
+	at := m.arrival[seg]
 	delete(m.pending, seg)
-	return runs
+	delete(m.arrival, seg)
+	return runs, at
 }
 
 // takeCovered is takePending gated on coverage: it removes and returns the
 // undrained runs only when they total at least need bytes — the write-
 // behind trigger, evaluated and consumed under one lock so two checks can
 // never drain the same runs twice.
-func (m *l2meta) takeCovered(seg int64, need int64) []extent.Extent {
+func (m *l2meta) takeCovered(seg int64, need int64) ([]extent.Extent, simtime.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	runs := m.pending[seg]
 	if extent.Total(runs) < need {
-		return nil
+		return nil, 0
 	}
+	at := m.arrival[seg]
 	delete(m.pending, seg)
-	return runs
+	delete(m.arrival, seg)
+	return runs, at
 }
 
 func (m *l2meta) isPopulated(seg int64) bool {
@@ -155,7 +170,7 @@ func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
 	t2 := f.c.Now()
 	f.stats.LockWait += t1.Sub(t0)
 	f.stats.PutIssue += t2.Sub(t1)
-	f.meta.addDirty(seg, runs)
+	f.meta.addDirty(seg, runs, h.Arrival())
 	f.stats.Level1Flush++
 	f.emit(trace.KindFlush, t0, int64(len(payload)), fmt.Sprintf("seg=%d owner=%d runs=%d", seg, owner, len(runs)))
 	return f.maybeWriteBehind()

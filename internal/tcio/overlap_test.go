@@ -12,6 +12,7 @@ import (
 
 	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/simtime"
 )
 
 func TestOverlapConfigValidation(t *testing.T) {
@@ -81,11 +82,141 @@ func TestWriteBehindBytesIdentical(t *testing.T) {
 		if sync0.EagerDrains != 0 {
 			return fmt.Errorf("threshold 0 ran %d eager drains", sync0.EagerDrains)
 		}
-		// Accounting must balance: every file system write is either an
-		// eager drain batch's or the final residue's.
-		if eager.EagerDrains+eager.FlushResidue != eager.FSWrites {
-			return fmt.Errorf("eager %d + residue %d != fs writes %d",
-				eager.EagerDrains, eager.FlushResidue, eager.FSWrites)
+		// Accounting must balance: every file system write request is
+		// either an eager batch's or the final residue's. (EagerDrains
+		// counts batches, not requests — at threshold 1 a covered segment
+		// coalesces to one request per batch, so both identities hold here.)
+		if eager.EagerWrites+eager.FlushResidue != eager.FSWrites {
+			return fmt.Errorf("eager writes %d + residue %d != fs writes %d",
+				eager.EagerWrites, eager.FlushResidue, eager.FSWrites)
+		}
+		if eager.EagerWrites != eager.EagerDrains {
+			return fmt.Errorf("threshold 1: eager writes %d != eager drains %d (covered segments must coalesce)",
+				eager.EagerWrites, eager.EagerDrains)
+		}
+		return nil
+	})
+}
+
+// TestWriteBehindGappedAccounting drives a fractional threshold where each
+// eager batch holds two runs separated by a gap, so one EagerDrain issues
+// two file system requests: the per-request EagerWrites counter — not the
+// batch count — is what balances against FSWrites.
+func TestWriteBehindGappedAccounting(t *testing.T) {
+	const procs = 4
+	write := func(c *mpi.Comm, name string, threshold float64) (Stats, error) {
+		cfg := smallCfg() // 64-byte segments: threshold 0.5 needs 32 bytes
+		cfg.WriteBehindThreshold = threshold
+		f, err := Open(c, name, WriteMode, cfg)
+		if err != nil {
+			return Stats{}, err
+		}
+		// Ranks 0 and 2 cover half of every segment with a gap between
+		// their runs: bytes [0,16) and [32,48).
+		if c.Rank()%2 == 0 {
+			for seg := int64(0); seg < 64; seg++ {
+				var block [16]byte
+				for b := range block {
+					block[b] = byte(int64(c.Rank())*31 + seg + int64(b))
+				}
+				if err := f.WriteAt(seg*64+int64(c.Rank())*16, block[:]); err != nil {
+					return Stats{}, err
+				}
+			}
+		}
+		if err := f.Flush(); err != nil {
+			return Stats{}, err
+		}
+		// Every rank then ships one byte into its own segment 60+r (into
+		// the [48,64) gap), so each rank's write-behind scan provably runs
+		// after all the gapped runs above are recorded: every half-covered
+		// segment eager-drains.
+		if err := f.WriteAt((60+int64(c.Rank()))*64+48, []byte{7}); err != nil {
+			return Stats{}, err
+		}
+		if err := f.Close(); err != nil {
+			return Stats{}, err
+		}
+		return f.Stats(), nil
+	}
+	run(t, procs, func(c *mpi.Comm) error {
+		if _, err := write(c, "wbg-sync", 0); err != nil {
+			return err
+		}
+		eager, err := write(c, "wbg-eager", 0.5)
+		if err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			a := c.FS().Open("wbg-sync").Snapshot()
+			b := c.FS().Open("wbg-eager").Snapshot()
+			if !bytes.Equal(a, b) {
+				return fmt.Errorf("gapped write-behind changed file bytes (%d vs %d)", len(a), len(b))
+			}
+		}
+		// Each rank owns 16 segments, every one half-covered by two gapped
+		// runs: 16 eager batches of 2 requests each. The books must balance
+		// on requests; the batch count deliberately does not.
+		if eager.EagerDrains != 16 || eager.EagerWrites != 32 {
+			return fmt.Errorf("eager drains %d (want 16), eager writes %d (want 32)",
+				eager.EagerDrains, eager.EagerWrites)
+		}
+		if eager.EagerWrites+eager.FlushResidue != eager.FSWrites {
+			return fmt.Errorf("eager writes %d + residue %d != fs writes %d",
+				eager.EagerWrites, eager.FlushResidue, eager.FSWrites)
+		}
+		return nil
+	})
+}
+
+// TestWriteBehindRewriteRace is the -race regression for rewrite traffic
+// racing the eager drain: with a low threshold every shipped run can drain
+// immediately, while a second pass of writes keeps physically copying into
+// the same window regions the drains are snapshotting. Last bytes must win.
+func TestWriteBehindRewriteRace(t *testing.T) {
+	const procs = 4
+	run(t, procs, func(c *mpi.Comm) error {
+		cfg := smallCfg()
+		cfg.WriteBehindThreshold = 0.25 // each 16-byte run triggers a drain
+		f, err := Open(c, "wb-rewrite", WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < 64; i++ {
+				off := int64(i)*16*procs + int64(c.Rank())*16
+				var block [16]byte
+				for b := range block {
+					block[b] = byte(pass*101 + c.Rank()*31 + i + b)
+				}
+				if err := f.WriteAt(off, block[:]); err != nil {
+					return err
+				}
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			got := c.FS().Open("wb-rewrite").Snapshot()
+			for i := 0; i < 64; i++ {
+				for r := 0; r < procs; r++ {
+					off := int64(i)*16*procs + int64(r)*16
+					for b := 0; b < 16; b++ {
+						want := byte(101 + r*31 + i + b) // pass-2 values
+						if got[off+int64(b)] != want {
+							return fmt.Errorf("byte %d: got %d, want %d (rewrite lost)",
+								off+int64(b), got[off+int64(b)], want)
+						}
+					}
+				}
+			}
 		}
 		return nil
 	})
@@ -99,6 +230,7 @@ func TestL2MetaConcurrent(t *testing.T) {
 		dirty:     make(map[int64][]extent.Extent),
 		pending:   make(map[int64][]extent.Extent),
 		populated: make(map[int64]bool),
+		arrival:   make(map[int64]simtime.Time),
 	}
 	const (
 		workers  = 8
@@ -112,13 +244,13 @@ func TestL2MetaConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for s := int64(0); s < segs; s++ {
-				m.addDirty(s, []extent.Extent{{Off: int64(w * perChunk), Len: perChunk}})
+				m.addDirty(s, []extent.Extent{{Off: int64(w * perChunk), Len: perChunk}}, simtime.Time(w+1))
 				_ = m.dirtyRuns(s)
 				_ = m.hasDirty(s)
-				if runs := m.takeCovered(s, segSize); len(runs) != 0 {
+				if runs, at := m.takeCovered(s, segSize); len(runs) != 0 {
 					// Full coverage observed: put the runs back the way a
 					// drain error path would not — re-add so others see them.
-					m.addDirty(s, runs)
+					m.addDirty(s, runs, at)
 				}
 				m.setPopulated(s)
 				_ = m.isPopulated(s)
@@ -179,14 +311,15 @@ func TestPrefetchEvictRefusesDirty(t *testing.T) {
 			dirty:     make(map[int64][]extent.Extent),
 			pending:   make(map[int64][]extent.Extent),
 			populated: make(map[int64]bool),
+			arrival:   make(map[int64]simtime.Time),
 		},
 		prefetched: make(map[int64]*prefetchEntry),
 	}
-	f.meta.addDirty(1, []extent.Extent{{Off: 0, Len: 4}})
+	f.meta.addDirty(1, []extent.Extent{{Off: 0, Len: 4}}, 0)
 	f.insertPrefetched(1, &prefetchEntry{data: []byte{1}})
 	f.insertPrefetched(2, &prefetchEntry{data: []byte{2}})
 	// Cache full (cap 2): inserting 3 must evict the clean LRU entry 2,
-	// not the dirty entry 1.
+	// not the dirty entry 1 — and the evicted entry's read was wasted.
 	f.insertPrefetched(3, &prefetchEntry{data: []byte{3}})
 	if _, ok := f.prefetched[1]; !ok {
 		t.Fatal("dirty segment 1 was evicted")
@@ -197,14 +330,21 @@ func TestPrefetchEvictRefusesDirty(t *testing.T) {
 	if _, ok := f.prefetched[3]; !ok {
 		t.Fatal("segment 3 was not cached")
 	}
-	// Make 3 dirty too: now every entry is dirty, so 4 must be dropped.
-	f.meta.addDirty(3, []extent.Extent{{Off: 0, Len: 4}})
+	if f.stats.PrefetchWasted != 1 {
+		t.Fatalf("PrefetchWasted = %d after evicting unused entry, want 1", f.stats.PrefetchWasted)
+	}
+	// Make 3 dirty too: now every entry is dirty, so 4 must be dropped —
+	// another wasted read.
+	f.meta.addDirty(3, []extent.Extent{{Off: 0, Len: 4}}, 0)
 	f.insertPrefetched(4, &prefetchEntry{data: []byte{4}})
 	if _, ok := f.prefetched[4]; ok {
 		t.Fatal("segment 4 cached despite a fully dirty cache")
 	}
 	if len(f.prefetchLRU) != 2 {
 		t.Fatalf("LRU length %d, want 2", len(f.prefetchLRU))
+	}
+	if f.stats.PrefetchWasted != 2 {
+		t.Fatalf("PrefetchWasted = %d after dropping entry, want 2", f.stats.PrefetchWasted)
 	}
 	// Draining segment 1 (takePending) makes it evictable again.
 	f.meta.takePending(1)
@@ -215,4 +355,22 @@ func TestPrefetchEvictRefusesDirty(t *testing.T) {
 	if _, ok := f.prefetched[5]; !ok {
 		t.Fatal("segment 5 was not cached after eviction freed a slot")
 	}
+}
+
+// TestPrefetchCacheClamp: a cache cap below the lookahead would evict the
+// very segments the lookahead just staged (every prefetch a guaranteed
+// duplicate read), so Open raises it to PrefetchSegments.
+func TestPrefetchCacheClamp(t *testing.T) {
+	run(t, 1, func(c *mpi.Comm) error {
+		cfg := Config{SegmentSize: 64, NumSegments: 4, PrefetchSegments: 4, MaxCachedSegments: 2}
+		f, err := Open(c, "pf-clamp", WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if f.cfg.MaxCachedSegments != 4 {
+			return fmt.Errorf("MaxCachedSegments = %d, want clamped to 4", f.cfg.MaxCachedSegments)
+		}
+		return nil
+	})
 }

@@ -6,9 +6,18 @@ package tcio
 // staged in a small LRU cache, so the file system time of segment k+1
 // hides behind the window traffic of segment k. Only segments the batch
 // already demands are read — never speculative ones — and they are issued
-// in the same per-rank order the demand loop would use, so the file
-// system's readahead state and every fault roll are identical at any
-// PrefetchSegments setting.
+// in the same per-rank order the demand loop would use.
+//
+// Determinism caveat: when ranks' demand sets are disjoint (each rank
+// reads its own region — the case the bench and the CI two-run diff
+// validate), the per-rank request stream and every fault roll are
+// identical at any PrefetchSegments setting. When ranks contend for the
+// same segments, a prefetched read can be wasted — another rank populates
+// the segment between the isPopulated check and the Fetch step that would
+// consume the staged bytes — and that read is one the demand path would
+// never have issued, so request sets and chaos fault rolls may differ
+// across prefetch settings. Stats.PrefetchWasted makes the divergence
+// visible; DESIGN.md §2b states the full argument.
 
 import (
 	"fmt"
@@ -86,10 +95,11 @@ func (f *File) prefetchSegment(seg int64) error {
 // insertPrefetched stages one segment, evicting least-recently-used
 // entries past the cache cap. When nothing is evictable (every cached
 // segment still has undrained dirty runs) the new entry is dropped rather
-// than evicting dirty state.
+// than evicting dirty state; the drop wastes the read that staged it.
 func (f *File) insertPrefetched(seg int64, e *prefetchEntry) {
 	for len(f.prefetchLRU) >= f.cfg.MaxCachedSegments {
 		if !f.evictPrefetched() {
+			f.stats.PrefetchWasted++
 			return
 		}
 	}
@@ -98,7 +108,9 @@ func (f *File) insertPrefetched(seg int64, e *prefetchEntry) {
 }
 
 // evictPrefetched drops the least-recently-used entry whose segment has no
-// undrained dirty runs; it reports false when every entry is dirty.
+// undrained dirty runs; it reports false when every entry is dirty. An
+// evicted entry was never consumed (takePrefetched removes consumed ones),
+// so its background read is counted wasted.
 func (f *File) evictPrefetched() bool {
 	for i, seg := range f.prefetchLRU {
 		if f.meta.hasDirty(seg) {
@@ -106,6 +118,7 @@ func (f *File) evictPrefetched() bool {
 		}
 		delete(f.prefetched, seg)
 		f.prefetchLRU = append(f.prefetchLRU[:i], f.prefetchLRU[i+1:]...)
+		f.stats.PrefetchWasted++
 		return true
 	}
 	return false

@@ -23,7 +23,11 @@ type Stats struct {
 	Retries int64
 
 	// Write-behind pipeline (Config.WriteBehindThreshold > 0).
-	EagerDrains  int64 // segments drained on the background lane before Close
+	EagerDrains int64 // background drain batches (one covered segment each)
+	// EagerWrites counts the file system write requests those batches
+	// issued (a gapped segment drains as several requests), so
+	// EagerWrites + FlushResidue == FSWrites at any threshold.
+	EagerWrites  int64
 	FlushResidue int64 // file system write requests left for the final drain
 	// OverlapSaved is the background lane's busy time minus the waits the
 	// rank actually paid for it (backpressure plus the final drain's
@@ -33,7 +37,11 @@ type Stats struct {
 	// Read prefetch (Config.PrefetchSegments > 0).
 	PrefetchIssued int64 // segment reads started on the background lane
 	PrefetchHits   int64 // populations served from the prefetch cache
-	PrefetchWasted int64 // prefetched segments another rank populated first
+	// PrefetchWasted counts staged segments never consumed: another rank
+	// populated the segment first, or the entry was evicted or dropped
+	// before its Fetch step arrived. Each is a real file system read the
+	// demand path would not have issued (see DESIGN.md §2b).
+	PrefetchWasted int64
 
 	// EpochEvictions counts put epochs closed early because the pipeline
 	// window was full — churn the LRU eviction policy is meant to minimize.

@@ -137,11 +137,18 @@ type Config struct {
 	// when Fetch walks forward-consecutive segments, up to this many
 	// upcoming segment reads are issued on a background lane so the file
 	// system time hides behind the window traffic. Only segments the batch
-	// already demands are read — never speculative ones — so the request
-	// stream's identity is unchanged. 0 disables prefetch (the default).
+	// already demands are read — never speculative ones — so when ranks
+	// read disjoint regions the per-rank request stream is unchanged.
+	// When ranks contend for the same segments a prefetched read can be
+	// wasted (another rank populates the segment first), which the demand
+	// path would not have issued — see Stats.PrefetchWasted and DESIGN.md
+	// §2b. 0 disables prefetch (the default).
 	PrefetchSegments int
 	// MaxCachedSegments caps the prefetch cache (LRU). Eviction refuses
-	// segments with undrained dirty runs. 0 means PrefetchSegments.
+	// segments with undrained dirty runs. 0 means PrefetchSegments; values
+	// below PrefetchSegments are raised to it — a smaller cache would
+	// evict the very segments the lookahead just staged, turning every
+	// prefetch into a wasted duplicate read.
 	MaxCachedSegments int
 	// EmulateTwoSided is an ablation switch: level-1 <-> level-2 transfers
 	// are charged as two-sided (matched send/receive) messages instead of
@@ -291,6 +298,9 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if cfg.MaxCachedSegments < 0 {
 		return nil, fmt.Errorf("tcio: max cached segments %d", cfg.MaxCachedSegments)
 	}
+	if cfg.MaxCachedSegments < cfg.PrefetchSegments {
+		cfg.MaxCachedSegments = cfg.PrefetchSegments
+	}
 	retry := faults.DefaultRetryPolicy()
 	if cfg.Retry != nil {
 		retry = *cfg.Retry
@@ -317,6 +327,7 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 			dirty:     make(map[int64][]extent.Extent),
 			pending:   make(map[int64][]extent.Extent),
 			populated: make(map[int64]bool),
+			arrival:   make(map[int64]simtime.Time),
 		}
 	})
 	if err != nil {

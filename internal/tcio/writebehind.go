@@ -34,11 +34,11 @@ func (f *File) maybeWriteBehind() error {
 	}
 	for slot := int64(0); slot < int64(f.numSeg); slot++ {
 		seg := f.layout.RankSegment(f.c.Rank(), slot)
-		runs := f.meta.takeCovered(seg, need)
+		runs, arrival := f.meta.takeCovered(seg, need)
 		if len(runs) == 0 {
 			continue
 		}
-		if err := f.eagerDrain(seg, slot, runs); err != nil {
+		if err := f.eagerDrain(seg, slot, runs, arrival); err != nil {
 			return err
 		}
 	}
@@ -51,7 +51,7 @@ func (f *File) maybeWriteBehind() error {
 // timeline (the per-OST service queues arbitrate genuine contention). The
 // caller's clock waits only when the queue is full — backpressure — and at
 // the final drain.
-func (f *File) eagerDrain(seg, slot int64, runs []extent.Extent) error {
+func (f *File) eagerDrain(seg, slot int64, runs []extent.Extent, arrival simtime.Time) error {
 	// Bounded queue: wait for the earliest in-flight batch when full.
 	for len(f.wbOutstanding) >= f.cfg.WriteBehindQueue {
 		i := 0
@@ -63,25 +63,28 @@ func (f *File) eagerDrain(seg, slot int64, runs []extent.Extent) error {
 		f.wbWait(f.wbOutstanding[i])
 		f.wbOutstanding = append(f.wbOutstanding[:i], f.wbOutstanding[i+1:]...)
 	}
-	local := f.win.Local()
 	base := f.layout.SegStart(seg)
 	reqs := make([]storage.Request, 0, len(runs))
 	for _, r := range runs {
+		// Snapshot the run's bytes under the window's data mutex: remote
+		// rewrite puts may be physically copying into this very region.
+		// A rewrite's runs re-enter pending and drain again, so whichever
+		// version the snapshot catches, the last bytes still win.
 		reqs = append(reqs, storage.Request{
 			Off:  base + r.Off,
-			Data: local[slot*f.segSize+r.Off : slot*f.segSize+r.Off+r.Len],
+			Data: f.win.SnapshotLocal(slot*f.segSize+r.Off, r.Len),
 			Tag:  fmt.Sprintf("seg=%d off=%d (write-behind)", seg, base+r.Off),
 		})
 	}
-	// The drain reads this rank's window memory, which the rank's own
-	// in-flight self-puts may still be filling in virtual time; depart the
-	// batch no earlier than their arrival (the remote writers synchronized
-	// when they recorded the runs in l2meta). PendingArrival observes the
-	// epoch without dragging the application clock the way FlushLocal would.
-	start := simtime.Max(f.c.Now(), f.win.PendingArrival(f.c.Rank()))
+	// The runs being drained were put into this window by their origins
+	// (remote ranks and this rank alike), and in virtual time the bytes are
+	// not here until those puts retire at the target: depart the batch no
+	// earlier than the latest arrival recorded with the runs in l2meta.
+	start := simtime.Max(f.c.Now(), arrival)
 	res, end, err := f.store.WriteExtentsFrom("tcio: write-behind", trace.KindDrain, reqs, start)
 	f.stats.Retries += res.Retries
 	f.stats.FSWrites += res.Requests
+	f.stats.EagerWrites += res.Requests
 	if err != nil {
 		return err
 	}
