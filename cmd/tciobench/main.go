@@ -11,6 +11,7 @@
 //	tciobench -overlap           # write-behind / prefetch overlap sweep
 //	tciobench -overlap -chaos    # overlap under faults (counts-only table)
 //	tciobench -overlap -json results/BENCH_pr3.json   # machine-readable results
+//	tciobench -conform -seed 1 -progs 64   # randomized differential conformance sweep
 //	tciobench -all               # everything
 //	tciobench -procs 64,128 -len-sim 1048576 -len-real 4096   # custom sweep
 //
@@ -28,6 +29,7 @@ import (
 	"strings"
 
 	"github.com/tcio/tcio/internal/bench"
+	"github.com/tcio/tcio/internal/conformance"
 	"github.com/tcio/tcio/internal/stats"
 )
 
@@ -53,8 +55,22 @@ func main() {
 		verify    = flag.Bool("verify", true, "verify every byte on read-back")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet     = flag.Bool("quiet", false, "suppress progress lines")
+		conform   = flag.Bool("conform", false, "run the randomized differential conformance sweep (uses -seed, -progs, -corpus)")
+		progs     = flag.Int("progs", 32, "number of generated programs for -conform")
+		corpus    = flag.String("corpus", "", "directory receiving shrunk repros of -conform divergences")
 	)
 	flag.Parse()
+	if *conform {
+		failures, err := conformance.RunSweep(os.Stdout, *seed, *progs, *corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tciobench:", err)
+			os.Exit(1)
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*all {
 		flag.Usage()
 		os.Exit(2)

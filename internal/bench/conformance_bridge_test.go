@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/tcio/tcio/internal/conformance"
+	"github.com/tcio/tcio/internal/datatype"
+)
+
+// TestConformanceBridge ties the two independent workload models together:
+// the bench package's interleaved-placement formula (process p's i-th
+// block of each array lands at file block i*P + p) and the conformance
+// harness's dense ground-truth cover model. The synthetic workload is
+// translated into a conformance Program, the per-byte cover map must
+// reproduce the placement formula exactly, and the translated program must
+// conform across all three engines.
+func TestConformanceBridge(t *testing.T) {
+	cfg := SyntheticConfig{
+		Method:     MethodTCIO,
+		Procs:      4,
+		TypeArray:  []datatype.Type{datatype.Int, datatype.Double},
+		LenArray:   32,
+		SizeAccess: 1,
+		FileName:   "bridge",
+	}
+	blockSize := cfg.blockSize()
+	iters := cfg.iters()
+
+	prog := &conformance.Program{
+		Seed:        42,
+		Procs:       cfg.Procs,
+		SegmentSize: blockSize,
+		NumSegments: iters,
+		FileBytes:   cfg.FileBytes(),
+		StripeSize:  64,
+		StripeCount: 2,
+	}
+	var writes conformance.Round
+	id := int64(1)
+	for p := 0; p < cfg.Procs; p++ {
+		for i := 0; i < iters; i++ {
+			writes.Ops = append(writes.Ops, conformance.Op{
+				Rank: p,
+				Off:  (int64(i)*int64(cfg.Procs) + int64(p)) * blockSize,
+				Len:  blockSize,
+				ID:   id,
+			})
+			id++
+		}
+	}
+	prog.WriteRounds = []conformance.Round{writes}
+	var reads conformance.Round
+	for p := 0; p < cfg.Procs; p++ {
+		// Each rank reads back a strided sample of its own blocks.
+		for i := p; i < iters; i += cfg.Procs {
+			reads.Ops = append(reads.Ops, conformance.Op{
+				Rank: p,
+				Off:  (int64(i)*int64(cfg.Procs) + int64(p)) * blockSize,
+				Len:  blockSize,
+			})
+		}
+	}
+	prog.ReadRounds = []conformance.Round{reads}
+
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("translated workload invalid: %v", err)
+	}
+
+	// The cover map must agree byte-for-byte with the placement formula.
+	cover := prog.CoverIDs()
+	if int64(len(cover)) != cfg.FileBytes() {
+		t.Fatalf("cover map is %d bytes, workload defines %d", len(cover), cfg.FileBytes())
+	}
+	for off := int64(0); off < cfg.FileBytes(); off++ {
+		block := off / blockSize
+		p := block % int64(cfg.Procs)
+		i := block / int64(cfg.Procs)
+		wantID := p*int64(iters) + i + 1
+		if cover[off] != wantID {
+			t.Fatalf("byte %d covered by op %d, placement formula says %d", off, cover[off], wantID)
+		}
+	}
+
+	out := conformance.Check(prog)
+	t.Log(out.Summary)
+	for _, d := range out.Divergences {
+		t.Errorf("%s", d)
+	}
+}

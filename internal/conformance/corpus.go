@@ -1,0 +1,72 @@
+package conformance
+
+// Corpus persistence: shrunk repro programs are serialized to JSON files
+// under testdata/corpus/ and replayed by TestCorpusReplay on every test
+// run, so a divergence found once by the randomized sweep becomes a
+// permanent regression test.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Save writes the program to dir as conform-<digest>.json and returns the
+// path. Saving the same program twice is idempotent.
+func Save(dir string, p *Program) (string, error) {
+	blob, err := p.Marshal()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("conform-%s.json", p.Digest()))
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads one serialized program.
+func Load(path string) (*Program, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Unmarshal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// LoadDir reads every corpus case in dir, sorted by file name for a
+// stable replay order. A missing directory is an empty corpus.
+func LoadDir(dir string) (map[string]*Program, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make(map[string]*Program, len(names))
+	for _, name := range names {
+		p, err := Load(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out[name] = p
+	}
+	return out, nil
+}

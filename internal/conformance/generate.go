@@ -1,0 +1,211 @@
+package conformance
+
+// The seed-deterministic program generator. One seed fixes everything:
+// geometry, knobs, chaos rules, and every op of every round. Seeds cycle
+// through four knob classes so any contiguous seed sweep exercises every
+// engine feature (and gives every mutant of the smoke gate something to
+// bite on) within a small budget:
+//
+//	class 0 — baseline: preloaded reads, random drain/pipeline knobs.
+//	class 1 — demand-populate reads with prefetch lookahead.
+//	class 2 — write-behind, with writes aligned to each rank's own
+//	          segments (the configuration whose eager/residue counters
+//	          are scheduling-independent; see DESIGN.md §5e).
+//	class 3 — chaos: OST and one-sided put fault rules armed.
+//
+// Cross-rank write disjointness is enforced by construction: bytes are
+// dealt to ranks block-cyclically over a random granule, and every write
+// op stays inside its rank's territory. Overlaps and rewrites within a
+// rank are generated freely — they are well-defined (program order).
+
+import "math/rand"
+
+// Generate builds the program for one seed. The same seed always yields
+// the identical program (Go's math/rand generators are stable).
+func Generate(seed int64) *Program {
+	rng := rand.New(rand.NewSource(seed))
+	class := int(((seed % 4) + 4) % 4)
+
+	p := &Program{Seed: seed, Procs: 2 + rng.Intn(4)}
+	if class == 0 && rng.Intn(5) == 0 {
+		p.Procs = 1 // the degenerate single-rank world stays covered
+	}
+	segSizes := []int64{16, 24, 32, 48, 64, 96, 128}
+	p.SegmentSize = segSizes[rng.Intn(len(segSizes))]
+	p.NumSegments = 2 + rng.Intn(5)
+	capacity := p.Capacity()
+	p.FileBytes = capacity/2 + rng.Int63n(capacity/2+1)
+	stripes := []int64{16, 32, 64, 128, 256}
+	p.StripeSize = stripes[rng.Intn(len(stripes))]
+	p.StripeCount = 1 + rng.Intn(4)
+	p.Knobs = genKnobs(rng, class, seed)
+
+	territory := genTerritory(rng, class, p)
+	nextID := int64(1)
+	rounds := 1 + rng.Intn(3)
+	for r := 0; r < rounds; r++ {
+		p.WriteRounds = append(p.WriteRounds, genWriteRound(rng, p, territory, &nextID))
+	}
+	readRounds := 1 + rng.Intn(3)
+	for r := 0; r < readRounds; r++ {
+		p.ReadRounds = append(p.ReadRounds, genReadRound(rng, p, r == 0))
+	}
+	return p
+}
+
+// genKnobs draws the library configuration for one knob class.
+func genKnobs(rng *rand.Rand, class int, seed int64) Knobs {
+	k := Knobs{
+		DrainWorkers:  []int{0, 1, 2, 4}[rng.Intn(4)],
+		DisableLevel1: rng.Intn(5) == 0,
+		FetchBatch:    []int{1, 2, 64}[rng.Intn(3)],
+		PipelineDepth: []int{1, 2, 8}[rng.Intn(3)],
+		Sieving:       rng.Intn(2) == 0,
+	}
+	if rng.Intn(4) == 0 {
+		k.EmulateTwoSided = true
+	}
+	k.Aggregators = rng.Intn(3) // clamped to Procs by the engine driver
+	switch class {
+	case 1: // demand-populate + prefetch
+		k.DemandPopulate = true
+		k.PrefetchSegments = 1 + rng.Intn(3)
+		if rng.Intn(4) == 0 {
+			k.PrefetchSegments = 0 // demand without lookahead
+		}
+		k.MaxCachedSegments = []int{0, k.PrefetchSegments, k.PrefetchSegments + 1}[rng.Intn(3)]
+	case 2: // write-behind (rank-aligned territory, see genTerritory)
+		k.WriteBehindThreshold = []float64{1, 0.5, 0.25}[rng.Intn(3)]
+		k.WriteBehindQueue = []int{1, 2, 32}[rng.Intn(3)]
+	case 3: // chaos
+		k.ChaosSeed = seed
+		if k.ChaosSeed == 0 {
+			k.ChaosSeed = 1
+		}
+		probs := []float64{0, 0.02, 0.05, 0.08}
+		k.OSTWriteProb = probs[rng.Intn(4)]
+		k.OSTReadProb = probs[rng.Intn(4)]
+		k.WinPutProb = probs[rng.Intn(4)]
+		if k.OSTWriteProb == 0 && k.OSTReadProb == 0 && k.WinPutProb == 0 {
+			k.OSTWriteProb = 0.05
+		}
+	}
+	return k
+}
+
+// genTerritory deals every file byte to exactly one rank. Class 2 aligns
+// territories with equation (1)'s segment ownership so write-behind's
+// eager-drain counters are scheduling-independent; the other classes use a
+// random block-cyclic deal over a random granule, which produces the
+// cross-rank interleaving within segments that stresses the one-sided
+// paths. Returns each rank's territory as maximal contiguous runs.
+func genTerritory(rng *rand.Rand, class int, p *Program) [][]Op {
+	ownerOf := make([]int, p.FileBytes)
+	if class == 2 {
+		for i := range ownerOf {
+			ownerOf[i] = int((int64(i) / p.SegmentSize) % int64(p.Procs))
+		}
+	} else {
+		granules := []int64{4, 8, 16, p.SegmentSize}
+		g := granules[rng.Intn(len(granules))] * int64(1+rng.Intn(3))
+		perm := rng.Perm(p.Procs)
+		for i := range ownerOf {
+			ownerOf[i] = perm[(int64(i)/g)%int64(p.Procs)]
+		}
+	}
+	runs := make([][]Op, p.Procs)
+	for i := int64(0); i < p.FileBytes; {
+		j := i
+		for j < p.FileBytes && ownerOf[j] == ownerOf[i] {
+			j++
+		}
+		r := ownerOf[i]
+		runs[r] = append(runs[r], Op{Rank: r, Off: i, Len: j - i})
+		i = j
+	}
+	return runs
+}
+
+// genWriteRound emits each rank's ops for one round: random sub-runs of
+// the rank's territory (rewrites arise naturally across and within
+// rounds), occasional bursts of small adjacent pieces (the level-1
+// coalescing diet), and rare zero-length writes.
+func genWriteRound(rng *rand.Rand, p *Program, territory [][]Op, nextID *int64) Round {
+	var round Round
+	for rank := 0; rank < p.Procs; rank++ {
+		runs := territory[rank]
+		if len(runs) == 0 {
+			continue
+		}
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			run := runs[rng.Intn(len(runs))]
+			if rng.Intn(20) == 0 { // zero-length write
+				round.Ops = append(round.Ops, Op{Rank: rank, Off: run.Off + rng.Int63n(run.Len), ID: *nextID})
+				*nextID++
+				continue
+			}
+			off := run.Off + rng.Int63n(run.Len)
+			maxLen := run.End() - off
+			length := 1 + rng.Int63n(maxLen)
+			if rng.Intn(10) < 3 {
+				// Burst: adjacent small pieces covering [off, off+length).
+				for at := off; at < off+length; {
+					chunk := 3 + rng.Int63n(7)
+					if at+chunk > off+length {
+						chunk = off + length - at
+					}
+					round.Ops = append(round.Ops, Op{Rank: rank, Off: at, Len: chunk, ID: *nextID})
+					*nextID++
+					at += chunk
+				}
+				continue
+			}
+			round.Ops = append(round.Ops, Op{Rank: rank, Off: off, Len: length, ID: *nextID})
+			*nextID++
+		}
+	}
+	return round
+}
+
+// genReadRound emits each rank's read ops for one round. The first round
+// leans sequential — contiguous spans walked in segment-sized steps, the
+// pattern that drives the prefetch lookahead — and later rounds read
+// random (possibly overlapping, possibly never-written) ranges.
+func genReadRound(rng *rand.Rand, p *Program, sequential bool) Round {
+	var round Round
+	for rank := 0; rank < p.Procs; rank++ {
+		if sequential && rng.Intn(10) < 7 {
+			off := rng.Int63n(p.FileBytes)
+			off -= off % p.SegmentSize
+			step := p.SegmentSize
+			if rng.Intn(3) == 0 {
+				step = p.SegmentSize/2 + 3
+			}
+			chunks := 2 + rng.Intn(7)
+			for i := 0; i < chunks && off < p.FileBytes; i++ {
+				n := step
+				if off+n > p.FileBytes {
+					n = p.FileBytes - off
+				}
+				round.Ops = append(round.Ops, Op{Rank: rank, Off: off, Len: n})
+				off += n
+			}
+			continue
+		}
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			off := rng.Int63n(p.FileBytes)
+			if rng.Intn(20) == 0 {
+				round.Ops = append(round.Ops, Op{Rank: rank, Off: off})
+				continue
+			}
+			maxLen := p.FileBytes - off
+			if cap := 3 * p.SegmentSize; maxLen > cap {
+				maxLen = cap
+			}
+			round.Ops = append(round.Ops, Op{Rank: rank, Off: off, Len: 1 + rng.Int63n(maxLen)})
+		}
+	}
+	return round
+}

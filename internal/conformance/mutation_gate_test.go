@@ -1,0 +1,75 @@
+//go:build conformance_mutants
+
+package conformance
+
+// The mutation smoke gate: proof that the harness's oracles have teeth.
+// Each deliberate bug in internal/mutate is armed in turn, and the
+// generated-program sweep must flag a divergence within a bounded seed
+// budget. A surviving mutant means a blind spot in the generator or the
+// oracles — the gate fails and names it.
+//
+// Run with: go test -tags conformance_mutants -run TestMutationGate ./internal/conformance
+//
+// Setting CONFORMANCE_CORPUS_DIR additionally shrinks each caught
+// divergence and saves the minimal repro there (how testdata/corpus was
+// produced).
+
+import (
+	"os"
+	"testing"
+
+	"github.com/tcio/tcio/internal/mutate"
+)
+
+// gateBudget is the number of generated programs each mutant gets to
+// survive; the budget spans all four knob classes several times over.
+const gateBudget = 24
+
+func TestMutationGate(t *testing.T) {
+	if !mutate.Built {
+		t.Skip("mutant hooks not compiled in")
+	}
+	defer mutate.Clear()
+	for _, id := range mutate.All() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			mutate.Set(id)
+			defer mutate.Clear()
+			for seed := int64(1); seed <= gateBudget; seed++ {
+				out := Check(Generate(seed))
+				if !out.Failed() {
+					continue
+				}
+				t.Logf("caught at seed %d: %s", seed, out.Divergences[0])
+				small, stats := Shrink(out.Program, func(c *Program) bool {
+					return Check(c).Failed()
+				}, shrinkBudget)
+				wops, rops := small.Ops()
+				t.Logf("shrunk to %d write / %d read ops, %d ranks (%d evals)",
+					wops, rops, small.Procs, stats.Evals)
+				if dir := os.Getenv("CONFORMANCE_CORPUS_DIR"); dir != "" {
+					path, err := Save(dir, small)
+					if err != nil {
+						t.Fatalf("saving repro: %v", err)
+					}
+					t.Logf("repro saved: %s", path)
+				}
+				return
+			}
+			t.Errorf("mutant %s survived %d generated programs", id, gateBudget)
+		})
+	}
+}
+
+// TestMutantsDisarmedConform double-checks the tagged build is clean when
+// no mutant is armed — the gate's failures are attributable to the armed
+// mutant alone.
+func TestMutantsDisarmedConform(t *testing.T) {
+	mutate.Clear()
+	for seed := int64(1); seed <= 4; seed++ {
+		out := Check(Generate(seed))
+		for _, d := range out.Divergences {
+			t.Errorf("seed %d: %s", seed, d)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package conformance
+
+// Delta-debugging shrinker. Given a failing program and a predicate that
+// re-checks failure, Shrink searches for a smaller program that still
+// fails, under a bounded number of predicate evaluations (each evaluation
+// is three full engine runs, so the budget is the cost knob).
+//
+// Every transformation is a monotone reduction — remove ops, remove
+// rounds, drop rank identities that own no ops, halve op lengths, shrink
+// the file or the segment geometry — never a shift of offsets to new
+// bytes. Reductions therefore preserve the program's one invariant
+// (cross-rank write disjointness: a subset of a disjoint byte assignment
+// is still disjoint), and every candidate is Validate-gated anyway.
+
+// Predicate reports whether a candidate program still fails. It must be
+// pure: evaluating a candidate must not mutate it.
+type Predicate func(*Program) bool
+
+// ShrinkStats summarizes one Shrink run.
+type ShrinkStats struct {
+	Evals        int // predicate evaluations spent
+	Improvements int // accepted reductions
+}
+
+type shrinker struct {
+	failing Predicate
+	budget  int
+	stats   ShrinkStats
+}
+
+// Shrink reduces p to a smaller program that still fails the predicate.
+// p itself must already fail (callers have just observed it failing; it
+// is not re-evaluated). The returned program is always valid and failing.
+func Shrink(p *Program, failing Predicate, maxEvals int) (*Program, ShrinkStats) {
+	s := &shrinker{failing: failing, budget: maxEvals}
+	cur := p.Clone()
+	for {
+		before := s.stats.Improvements
+		cur = s.dropRounds(cur)
+		cur = s.ddminOps(cur, true)
+		cur = s.ddminOps(cur, false)
+		cur = s.dropIdleRanks(cur)
+		cur = s.halveLens(cur)
+		cur = s.shrinkGeometry(cur)
+		if s.stats.Improvements == before || s.budget <= 0 {
+			return cur, s.stats
+		}
+	}
+}
+
+// accepts evaluates a candidate, charging the budget, and reports whether
+// it is a valid still-failing reduction.
+func (s *shrinker) accepts(cand *Program) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	if cand.Validate() != nil {
+		return false
+	}
+	s.budget--
+	s.stats.Evals++
+	if s.failing(cand) {
+		s.stats.Improvements++
+		return true
+	}
+	return false
+}
+
+// dropRounds tries removing whole rounds, later rounds first (dropping an
+// early write round changes what later rewrites overwrite, so the tail is
+// the cheaper guess).
+func (s *shrinker) dropRounds(p *Program) *Program {
+	for _, writes := range []bool{true, false} {
+		for i := len(rounds(p, writes)) - 1; i >= 0; i-- {
+			cand := p.Clone()
+			rs := rounds(cand, writes)
+			setRounds(cand, writes, append(rs[:i:i], rs[i+1:]...))
+			if s.accepts(cand) {
+				p = cand
+			}
+		}
+	}
+	return p
+}
+
+func rounds(p *Program, writes bool) []Round {
+	if writes {
+		return p.WriteRounds
+	}
+	return p.ReadRounds
+}
+
+func setRounds(p *Program, writes bool, rs []Round) {
+	if writes {
+		p.WriteRounds = rs
+	} else {
+		p.ReadRounds = rs
+	}
+}
+
+// ddminOps runs the classic ddmin loop over each round's op list.
+func (s *shrinker) ddminOps(p *Program, writes bool) *Program {
+	for ri := range rounds(p, writes) {
+		n := 2
+		for len(rounds(p, writes)[ri].Ops) >= 2 && s.budget > 0 {
+			ops := rounds(p, writes)[ri].Ops
+			if n > len(ops) {
+				n = len(ops)
+			}
+			reduced := false
+			for chunk := 0; chunk < n; chunk++ {
+				lo := chunk * len(ops) / n
+				hi := (chunk + 1) * len(ops) / n
+				if hi <= lo {
+					continue
+				}
+				cand := p.Clone()
+				keep := make([]Op, 0, len(ops)-(hi-lo))
+				keep = append(keep, ops[:lo]...)
+				keep = append(keep, ops[hi:]...)
+				rounds(cand, writes)[ri].Ops = keep
+				if s.accepts(cand) {
+					p = cand
+					n = 2
+					reduced = true
+					break
+				}
+			}
+			if !reduced {
+				if n >= len(ops) {
+					break
+				}
+				n *= 2
+			}
+		}
+	}
+	return p
+}
+
+// dropIdleRanks removes rank identities that no longer own any op,
+// renumbering the survivors densely.
+func (s *shrinker) dropIdleRanks(p *Program) *Program {
+	used := make([]bool, p.Procs)
+	for _, rs := range [][]Round{p.WriteRounds, p.ReadRounds} {
+		for _, r := range rs {
+			for _, op := range r.Ops {
+				used[op.Rank] = true
+			}
+		}
+	}
+	remap := make([]int, p.Procs)
+	next := 0
+	for r := 0; r < p.Procs; r++ {
+		remap[r] = next
+		if used[r] {
+			next++
+		}
+	}
+	if next == p.Procs || next == 0 {
+		return p
+	}
+	cand := p.Clone()
+	cand.Procs = next
+	// Fewer ranks shrink the level-2 capacity; grow NumSegments to keep
+	// the file addressable (segment count is not part of minimality —
+	// shrinkGeometry re-reduces it afterwards if it can).
+	for cand.FileBytes > cand.Capacity() {
+		cand.NumSegments *= 2
+	}
+	for _, rs := range [][]Round{cand.WriteRounds, cand.ReadRounds} {
+		for i := range rs {
+			for j := range rs[i].Ops {
+				rs[i].Ops[j].Rank = remap[rs[i].Ops[j].Rank]
+			}
+		}
+	}
+	if s.accepts(cand) {
+		return cand
+	}
+	return p
+}
+
+// halveLens tries halving individual op lengths (keeping offsets, so the
+// written byte set only shrinks).
+func (s *shrinker) halveLens(p *Program) *Program {
+	for _, writes := range []bool{true, false} {
+		for ri := range rounds(p, writes) {
+			for oi := range rounds(p, writes)[ri].Ops {
+				if rounds(p, writes)[ri].Ops[oi].Len < 2 {
+					continue
+				}
+				cand := p.Clone()
+				rounds(cand, writes)[ri].Ops[oi].Len /= 2
+				if s.accepts(cand) {
+					p = cand
+				}
+			}
+		}
+	}
+	return p
+}
+
+// shrinkGeometry trims the file to the ops' reach and tries smaller
+// segment counts and sizes (layout changes are fair game: the candidate
+// only survives if it still fails).
+func (s *shrinker) shrinkGeometry(p *Program) *Program {
+	var maxEnd int64
+	for _, rs := range [][]Round{p.WriteRounds, p.ReadRounds} {
+		for _, r := range rs {
+			for _, op := range r.Ops {
+				if op.End() > maxEnd {
+					maxEnd = op.End()
+				}
+			}
+		}
+	}
+	if maxEnd >= 1 && maxEnd < p.FileBytes {
+		cand := p.Clone()
+		cand.FileBytes = maxEnd
+		if s.accepts(cand) {
+			p = cand
+		}
+	}
+	for p.NumSegments > 1 {
+		cand := p.Clone()
+		cand.NumSegments = p.NumSegments / 2
+		if !s.accepts(cand) {
+			break
+		}
+		p = cand
+	}
+	for p.SegmentSize > 8 {
+		cand := p.Clone()
+		cand.SegmentSize = p.SegmentSize / 2
+		if !s.accepts(cand) {
+			break
+		}
+		p = cand
+	}
+	return p
+}

@@ -175,11 +175,17 @@ func Indexed(blocklens, displs []int, base Type) (Type, error) {
 // Hindexed builds MPI_Type_create_hindexed with byte-granular blocks:
 // block i spans [displs[i], displs[i]+blocklens[i]) bytes. This is the form
 // TCIO uses to combine a level-1 buffer's cached blocks into one transfer.
+//
+// The layout is canonicalized by coalescing, so bytes covered by several
+// overlapping blocks appear — and are counted by Size — exactly once. (MPI
+// proper would pack such bytes repeatedly; here Size, Segments, Pack, and
+// Unpack must describe the same byte set or view flattening and round
+// trips break, so overlap deduplicates.)
 func Hindexed(blocklens, displs []int64) (Type, error) {
 	if len(blocklens) != len(displs) {
 		return nil, fmt.Errorf("datatype: Hindexed %d blocklens vs %d displs", len(blocklens), len(displs))
 	}
-	var size, ext int64
+	var ext int64
 	segs := make([]Segment, 0, len(blocklens))
 	for i := range blocklens {
 		if blocklens[i] < 0 || displs[i] < 0 {
@@ -189,45 +195,55 @@ func Hindexed(blocklens, displs []int64) (Type, error) {
 			continue
 		}
 		segs = append(segs, Segment{Off: displs[i], Len: blocklens[i]})
-		size += blocklens[i]
 		if end := displs[i] + blocklens[i]; end > ext {
 			ext = end
 		}
+	}
+	merged := Coalesce(segs)
+	var size int64
+	for _, s := range merged {
+		size += s.Len
 	}
 	return &derived{
 		name:   fmt.Sprintf("hindexed(%d)", len(blocklens)),
 		size:   size,
 		extent: ext,
-		segs:   Coalesce(segs),
+		segs:   merged,
 	}, nil
 }
 
 // Struct builds MPI_Type_create_struct: for each i, blocklens[i] elements of
 // types[i] at byte displacement displs[i]. The extent spans to the end of
-// the last byte touched, which is what the paper's FTT layouts need.
+// the last byte touched, which is what the paper's FTT layouts need. Like
+// Hindexed, the layout is canonicalized by coalescing and Size counts each
+// covered byte once even when fields overlap.
 func Struct(blocklens []int, displs []int64, types []Type) (Type, error) {
 	if len(blocklens) != len(displs) || len(blocklens) != len(types) {
 		return nil, fmt.Errorf("datatype: Struct arity mismatch %d/%d/%d",
 			len(blocklens), len(displs), len(types))
 	}
-	var size, ext int64
+	var ext int64
 	var segs []Segment
 	for i := range blocklens {
 		if blocklens[i] < 0 {
 			return nil, fmt.Errorf("datatype: Struct blocklen[%d] = %d", i, blocklens[i])
 		}
 		segs = expand(segs, types[i], blocklens[i], displs[i])
-		size += int64(blocklens[i]) * types[i].Size()
 		end := displs[i] + int64(blocklens[i])*types[i].Extent()
 		if end > ext {
 			ext = end
 		}
 	}
+	merged := Coalesce(segs)
+	var size int64
+	for _, s := range merged {
+		size += s.Len
+	}
 	return &derived{
 		name:   fmt.Sprintf("struct(%d)", len(types)),
 		size:   size,
 		extent: ext,
-		segs:   Coalesce(segs),
+		segs:   merged,
 	}, nil
 }
 

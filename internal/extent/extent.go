@@ -25,7 +25,11 @@
 // runs.
 package extent
 
-import "sort"
+import (
+	"sort"
+
+	"github.com/tcio/tcio/internal/mutate"
+)
 
 // Extent is one contiguous run of bytes: the half-open interval
 // [Off, Off+Len). datatype.Segment is an alias of this type, so run lists
@@ -55,7 +59,8 @@ func Coalesce(list []Extent) []Extent {
 	merged := out[:0]
 	for _, e := range out {
 		if n := len(merged); n > 0 && merged[n-1].End() >= e.Off {
-			if end := e.End(); end > merged[n-1].End() {
+			if end := e.End(); end > merged[n-1].End() &&
+				!mutate.Enabled(mutate.ExtentDroppedCoalesce) {
 				merged[n-1].Len = end - merged[n-1].Off
 			}
 			continue

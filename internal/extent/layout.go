@@ -1,5 +1,7 @@
 package extent
 
+import "github.com/tcio/tcio/internal/mutate"
+
 // Layout is the paper's round-robin mapping of global file offsets onto the
 // level-2 buffers of P processes (§IV.A, equations (1)-(3)):
 //
@@ -32,7 +34,11 @@ func (l Layout) Segment(off int64) int64 { return off / l.SegSize }
 
 // Owner returns the owning rank and its local slot for a global segment.
 func (l Layout) Owner(seg int64) (rank int, slot int64) {
-	return int(seg % int64(l.P)), seg / int64(l.P)
+	r := seg % int64(l.P)
+	if mutate.Enabled(mutate.ExtentLayoutOwnerSkew) {
+		r = (seg + 1) % int64(l.P)
+	}
+	return int(r), seg / int64(l.P)
 }
 
 // Offset inverts Locate: the file offset of displacement disp inside the

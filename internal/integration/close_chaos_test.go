@@ -1,0 +1,129 @@
+package integration
+
+// Crash consistency of Close under chaos: TCIO writes land in remote
+// level-2 buffers, so with only SiteOSTWrite armed the injected faults can
+// fire nowhere but the final drain inside Close. With a zero retry budget
+// the drain's first transient becomes permanent, and Close must surface the
+// typed faults.ErrExhaustedRetries — never return success over a silently
+// partial file. Seed-pinned so the failing drain request replays
+// identically across runs.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/tcio"
+)
+
+const (
+	closeChaosProcs   = 2
+	closeChaosPiece   = 64
+	closeChaosPerRank = 1 << 10
+	closeChaosSeed    = 9
+)
+
+// closeChaosWrite runs one seeded write session and returns each rank's
+// Close error, the injector, and the file system for post-mortem.
+func closeChaosWrite(t *testing.T, seed int64, retry *faults.RetryPolicy) (map[int]error, *faults.Injector, *pfs.FileSystem) {
+	t.Helper()
+	in := faults.New(seed).Set(faults.SiteOSTWrite, faults.Rule{Prob: 0.5})
+	fs := chaosFS(in)
+	cfg := tcio.Config{SegmentSize: 1 << 10, NumSegments: 16, Retry: retry}
+	var mu sync.Mutex
+	closeErrs := make(map[int]error, closeChaosProcs)
+	chaosRun(fs, in, closeChaosProcs, func(c *mpi.Comm) error { //nolint:errcheck // per-rank errors inspected via closeErrs
+		f, err := tcio.Open(c, "close-chaos", tcio.WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		for off := int64(0); off < closeChaosPerRank; off += closeChaosPiece {
+			var buf [closeChaosPiece]byte
+			for b := range buf {
+				buf[b] = chaosByte(c.Rank(), off+int64(b))
+			}
+			pos := int64(c.Rank())*closeChaosPiece + off*int64(c.Size())
+			if err := f.WriteAt(pos, buf[:]); err != nil {
+				return err
+			}
+		}
+		cerr := f.Close()
+		mu.Lock()
+		closeErrs[c.Rank()] = cerr
+		mu.Unlock()
+		return cerr
+	})
+	return closeErrs, in, fs
+}
+
+func TestCloseMidChaosSurfacesExhaustedRetries(t *testing.T) {
+	zero := faults.NoRetry()
+	closeErrs, in, _ := closeChaosWrite(t, closeChaosSeed, &zero)
+
+	if in.TotalInjected() == 0 {
+		t.Fatalf("seed %d injected no fault; the test exercised nothing", closeChaosSeed)
+	}
+	sawTyped := false
+	for rank, cerr := range closeErrs {
+		if cerr == nil {
+			continue
+		}
+		sawTyped = true
+		if !errors.Is(cerr, faults.ErrExhaustedRetries) {
+			t.Errorf("rank %d Close error is not typed ErrExhaustedRetries: %v", rank, cerr)
+		}
+		if !faults.IsTransient(cerr) {
+			t.Errorf("rank %d Close error lost the injected-fault cause: %v", rank, cerr)
+		}
+	}
+	if !sawTyped {
+		t.Fatalf("seed %d: drain faulted (%s) yet every rank's Close returned nil — silent partial file",
+			closeChaosSeed, in.CountsString())
+	}
+
+	// Seed-pinned determinism: the same seed must fail identically.
+	again, in2, _ := closeChaosWrite(t, closeChaosSeed, &zero)
+	for rank, cerr := range closeErrs {
+		if a, b := fmtErr(cerr), fmtErr(again[rank]); a != b {
+			t.Errorf("rank %d error not reproducible:\n  run 1: %s\n  run 2: %s", rank, a, b)
+		}
+	}
+	if a, b := in.CountsString(), in2.CountsString(); a != b {
+		t.Errorf("injection counts not reproducible: %q vs %q", a, b)
+	}
+}
+
+// TestCloseMidChaosRecoversWithRetry is the control: the identical seed and
+// fault rules succeed under the default retry policy, and every byte lands.
+func TestCloseMidChaosRecoversWithRetry(t *testing.T) {
+	closeErrs, in, fs := closeChaosWrite(t, closeChaosSeed, nil)
+	for rank, cerr := range closeErrs {
+		if cerr != nil {
+			t.Fatalf("rank %d Close failed under the default retry policy: %v", rank, cerr)
+		}
+	}
+	if in.TotalInjected() == 0 {
+		t.Fatal("control run injected nothing; it does not cover the drain path")
+	}
+	snap := fs.Open("close-chaos").Snapshot()
+	for rank := 0; rank < closeChaosProcs; rank++ {
+		for off := int64(0); off < closeChaosPerRank; off += closeChaosPiece {
+			pos := int64(rank)*closeChaosPiece + off*int64(closeChaosProcs)
+			for b := int64(0); b < closeChaosPiece; b++ {
+				if want, got := chaosByte(rank, off+b), snap[pos+b]; got != want {
+					t.Fatalf("rank %d file byte %d: got %#x, want %#x", rank, pos+b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func fmtErr(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}

@@ -15,6 +15,7 @@ import (
 	"github.com/tcio/tcio/internal/datatype"
 	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/mutate"
 	"github.com/tcio/tcio/internal/pfs"
 	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/storage"
@@ -187,7 +188,11 @@ func (f *File) flatten(pos, n int64) ([]datatype.Segment, error) {
 		}
 		inst++
 	}
-	return datatype.Coalesce(out), nil
+	runs := datatype.Coalesce(out)
+	if mutate.Enabled(mutate.MPIIOFlattenDropRun) && len(runs) > 1 {
+		runs = runs[1:]
+	}
+	return runs, nil
 }
 
 // Write writes data independently at the current file pointer through the

@@ -1,0 +1,51 @@
+// Package mutate is the registry behind the conformance harness's mutation
+// smoke gate: a small set of deliberate, named bugs compiled into the I/O
+// libraries only under the `conformance_mutants` build tag, so the harness
+// can prove its oracles have teeth (every mutant must be detected within a
+// bounded budget — see internal/conformance and DESIGN.md §5e).
+//
+// In normal builds Enabled is a constant-false function, so every hook of
+// the form `if mutate.Enabled(mutate.X) { ... }` is dead code the compiler
+// removes; the production binaries are unchanged. Under the tag, exactly
+// one mutant is armed at a time via Set, and the gate test walks All.
+package mutate
+
+// Mutant identifiers. Each names one deliberate bug wired into a library
+// at the site the comment describes.
+const (
+	// ExtentDroppedCoalesce makes extent.Coalesce keep only the first
+	// run's length when merging adjacent or overlapping runs, losing the
+	// extension — level-1 flushes ship short payloads.
+	ExtentDroppedCoalesce = "extent.dropped-coalesce"
+	// ExtentLayoutOwnerSkew offsets equation (1)'s owner rank by one in
+	// Layout.Owner only, making it inconsistent with Locate/RankSegment.
+	ExtentLayoutOwnerSkew = "extent.layout-owner-skew"
+	// TCIOStalePrefetchServe makes populateFromCache mark a segment
+	// populated without copying the staged bytes into the window.
+	TCIOStalePrefetchServe = "tcio.stale-prefetch-serve"
+	// TCIOLostPendingRun makes l2meta.addDirty overwrite a segment's
+	// pending runs instead of appending, losing earlier undrained data.
+	TCIOLostPendingRun = "tcio.lost-pending-run"
+	// TCIOEagerWritesUncounted drops the EagerWrites accounting of the
+	// write-behind lane, breaking EagerWrites + FlushResidue == FSWrites.
+	TCIOEagerWritesUncounted = "tcio.eager-writes-uncounted"
+	// MPIIOFlattenDropRun makes mpiio's view flattening drop the first
+	// run of every multi-run request.
+	MPIIOFlattenDropRun = "mpiio.flatten-drop-run"
+	// StorageDropLastRequest makes the storage layer's serial path drop
+	// the last request of every multi-request batch.
+	StorageDropLastRequest = "storage.drop-last-request"
+)
+
+// All lists every mutant the gate must catch.
+func All() []string {
+	return []string{
+		ExtentDroppedCoalesce,
+		ExtentLayoutOwnerSkew,
+		TCIOStalePrefetchServe,
+		TCIOLostPendingRun,
+		TCIOEagerWritesUncounted,
+		MPIIOFlattenDropRun,
+		StorageDropLastRequest,
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !conformance_mutants
+
+package mutate
+
+// Built reports whether this binary carries the mutant hooks live.
+const Built = false
+
+// Enabled reports whether the named mutant is armed. In normal builds it
+// is constant false, so hook sites compile to nothing.
+func Enabled(string) bool { return false }

@@ -1,0 +1,25 @@
+//go:build conformance_mutants
+
+package mutate
+
+import "sync/atomic"
+
+// Built reports whether this binary carries the mutant hooks live.
+const Built = true
+
+// active holds the armed mutant id ("" = none). Atomic so the simulated
+// ranks (goroutines) may consult it while the gate test arms mutants
+// between runs.
+var active atomic.Value
+
+// Set arms the named mutant (and disarms any other).
+func Set(id string) { active.Store(id) }
+
+// Clear disarms all mutants.
+func Clear() { active.Store("") }
+
+// Enabled reports whether the named mutant is armed.
+func Enabled(id string) bool {
+	v, _ := active.Load().(string)
+	return v != "" && v == id
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/mutate"
 	"github.com/tcio/tcio/internal/pfs"
 	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/trace"
@@ -236,6 +237,9 @@ func (c *Client) finish(op string, kind trace.Kind, r Request, start, end simtim
 // runSerial issues the batch one request at a time, each departing when the
 // previous completed — the classic loop, kept bit-identical for Workers <= 1.
 func (c *Client) runSerial(op string, kind trace.Kind, reqs []Request, write bool, start simtime.Time) (Result, simtime.Time, error) {
+	if mutate.Enabled(mutate.StorageDropLastRequest) && len(reqs) > 1 {
+		reqs = reqs[:len(reqs)-1]
+	}
 	var res Result
 	now := start
 	for _, r := range reqs {

@@ -13,6 +13,7 @@ import (
 	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/mutate"
 	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/trace"
 )
@@ -41,7 +42,11 @@ func (m *l2meta) addDirty(seg int64, runs []extent.Extent, at simtime.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.dirty[seg] = extent.Coalesce(append(m.dirty[seg], runs...))
-	m.pending[seg] = extent.Coalesce(append(m.pending[seg], runs...))
+	if mutate.Enabled(mutate.TCIOLostPendingRun) {
+		m.pending[seg] = extent.Coalesce(append([]extent.Extent(nil), runs...))
+	} else {
+		m.pending[seg] = extent.Coalesce(append(m.pending[seg], runs...))
+	}
 	if at > m.arrival[seg] {
 		m.arrival[seg] = at
 	}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/mutate"
 	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/storage"
 	"github.com/tcio/tcio/internal/trace"
@@ -157,7 +158,7 @@ func (f *File) dropWastedPrefetch(seg int64) {
 // background read not already hidden behind its other work.
 func (f *File) populateFromCache(seg int64, owner int, slot int64, e *prefetchEntry) error {
 	f.c.AdvanceTo(e.ready)
-	if len(e.data) > 0 {
+	if len(e.data) > 0 && !mutate.Enabled(mutate.TCIOStalePrefetchServe) {
 		if err := f.win.PutSegments(owner,
 			[]extent.Extent{{Off: slot * f.segSize, Len: int64(len(e.data))}}, e.data); err != nil {
 			return err

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/mutate"
 	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/storage"
 	"github.com/tcio/tcio/internal/trace"
@@ -84,7 +85,9 @@ func (f *File) eagerDrain(seg, slot int64, runs []extent.Extent, arrival simtime
 	res, end, err := f.store.WriteExtentsFrom("tcio: write-behind", trace.KindDrain, reqs, start)
 	f.stats.Retries += res.Retries
 	f.stats.FSWrites += res.Requests
-	f.stats.EagerWrites += res.Requests
+	if !mutate.Enabled(mutate.TCIOEagerWritesUncounted) {
+		f.stats.EagerWrites += res.Requests
+	}
 	if err != nil {
 		return err
 	}
