@@ -10,6 +10,8 @@
 //	tciobench -drainsweep        # drain fan-out vs virtual write time
 //	tciobench -overlap           # write-behind / prefetch overlap sweep
 //	tciobench -overlap -chaos    # overlap under faults (counts-only table)
+//	tciobench -nodeagg           # intra-node aggregation sweep (cores/node x segment size)
+//	tciobench -nodeagg -chaos    # node aggregation under faults (counts-only table)
 //	tciobench -overlap -json results/BENCH_pr3.json   # machine-readable results
 //	tciobench -conform -seed 1 -progs 64   # randomized differential conformance sweep
 //	tciobench -all               # everything
@@ -43,6 +45,7 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep")
 		dsweep    = flag.Bool("drainsweep", false, "sweep TCIO drain fan-out on a multi-OST stripe")
 		overlap   = flag.Bool("overlap", false, "sweep write-behind and read-prefetch overlap settings")
+		nodeagg   = flag.Bool("nodeagg", false, "sweep intra-node aggregation (cores/node x segment size)")
 		jsonPath  = flag.String("json", "", "also write -overlap results as JSON to this path")
 		all       = flag.Bool("all", false, "run everything")
 		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
@@ -71,23 +74,27 @@ func main() {
 		}
 		return
 	}
-	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*all {
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*nodeagg && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// "-overlap -chaos" (without -all) means the overlap chaos table alone,
-	// not the regular chaos sweep plus a clean overlap sweep.
+	// "-overlap -chaos" / "-nodeagg -chaos" (without -all) mean the
+	// feature's chaos table alone, not the regular chaos sweep plus a clean
+	// feature sweep.
 	overlapChaos := *overlap && *chaos && !*all
+	nodeaggChaos := *nodeagg && *chaos && !*all
 	if err := run(*fig5 || *all, *fig6 || *all, *fig7 || *all, *tables || *all,
-		*ablations || *all, (*chaos || *all) && !overlapChaos, *dsweep || *all,
-		(*overlap || *all) && !overlapChaos, overlapChaos, *jsonPath, *procs, *lenSim, *lenReal,
+		*ablations || *all, (*chaos || *all) && !overlapChaos && !nodeaggChaos, *dsweep || *all,
+		(*overlap || *all) && !overlapChaos, overlapChaos,
+		(*nodeagg || *all) && !nodeaggChaos, nodeaggChaos, *jsonPath, *procs, *lenSim, *lenReal,
 		*seed, *rates, *cprocs, *dworkers, *verify, *csv, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tciobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overlapChaos bool,
+func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overlapChaos,
+	nodeagg, nodeaggChaos bool,
 	jsonPath, procsSpec string, lenSim, lenReal int, seed int64, ratesSpec string,
 	chaosProcs, drainWorkers int, verify, csv, quiet bool) error {
 	emit := func(t stats.Table) error {
@@ -243,6 +250,42 @@ func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overla
 				return err
 			}
 			if err := emit(rt); err != nil {
+				return err
+			}
+			if jsonPath != "" {
+				blob, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				if !quiet {
+					fmt.Fprintln(os.Stderr, "  ", "wrote", jsonPath)
+				}
+			}
+		}
+	}
+
+	if nodeagg || nodeaggChaos {
+		nopts := bench.DefaultNodeAgg()
+		nopts.Verify = verify
+		nopts.Progress = progress
+		if nodeaggChaos {
+			t, err := bench.NodeAggChaos(nopts, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		if nodeagg {
+			t, report, err := bench.NodeAgg(nopts)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
 				return err
 			}
 			if jsonPath != "" {

@@ -1,0 +1,297 @@
+package bench
+
+// This file implements the node-aggregation sweep: a granule-interleaved
+// write workload in which every level-2 segment is written by exactly the
+// ranks of one node, run with and without tcio.Config.NodeAggregation while
+// the node width (CoresPerNode) and the segment size vary. The workload is
+// built so the arithmetic is exact: with granule g = segSize/cores and the
+// writer of byte b being rank (b/g) mod P, the cores co-located ranks of one
+// node write each segment, so aggregation must replace their cores separate
+// inter-node puts with one combined put — an inter-node message reduction of
+// exactly (cores-1)/cores. Bytes are verified against the generator at every
+// setting; aggregation may only change the message stream, never the file.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/stats"
+	"github.com/tcio/tcio/internal/tcio"
+)
+
+// NodeAggOptions configures the node-aggregation sweep.
+type NodeAggOptions struct {
+	// Procs is the process count of each run. It must be a multiple of
+	// every entry of Cores so node blocks tile the rank space exactly.
+	Procs int
+	// Cores lists the CoresPerNode settings to sweep (1 = every rank on
+	// its own node, the degenerate case aggregation must not change).
+	Cores []int
+	// SegSizes lists the real segment sizes to sweep; each must be a
+	// multiple of every Cores entry.
+	SegSizes []int64
+	// SegsPerRank is the number of level-2 segments per process.
+	SegsPerRank int
+	// Scale is the environment byte scale (simulated bytes per real byte).
+	Scale int64
+	// Verify cross-checks the final file bytes against the generator.
+	Verify bool
+	// Progress receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultNodeAgg sweeps node widths 1/2/4/8 and two segment sizes over 16
+// processes. The simulated segments (16 KiB and 64 KiB) sit in the
+// message-overhead-dominated regime where collapsing per-rank puts pays:
+// one merged put saves (cores-1) x (setup + latency) per segment against an
+// intra-node staging cost of segSize/MemBandwidth, and the former dominates
+// below roughly (cores-1) x 50 KiB.
+func DefaultNodeAgg() NodeAggOptions {
+	return NodeAggOptions{
+		Procs:       16,
+		Cores:       []int{1, 2, 4, 8},
+		SegSizes:    []int64{1 << 10, 4 << 10},
+		SegsPerRank: 6,
+		Scale:       16,
+		Verify:      true,
+	}
+}
+
+// NodeAggPoint is one (cores, segment size, aggregation) setting's result.
+type NodeAggPoint struct {
+	CoresPerNode  int     `json:"cores_per_node"`
+	SegSize       int64   `json:"seg_size"` // simulated bytes
+	Aggregation   bool    `json:"node_aggregation"`
+	VirtualTimeNs int64   `json:"virtual_time_ns"`
+	MBs           float64 `json:"mbs"`
+	Messages      int64   `json:"messages"`
+	LocalMsgs     int64   `json:"local_messages"`
+	InterNodeMsgs int64   `json:"inter_node_messages"`
+	NodeCombines  int64   `json:"node_combines"`
+	PutsSaved     int64   `json:"inter_node_puts_saved"`
+	FSWrites      int64   `json:"fs_writes"`
+	Result        string  `json:"result"`
+}
+
+// NodeAggReport is the machine-readable result of one sweep
+// (tciobench -nodeagg -json).
+type NodeAggReport struct {
+	Procs       int            `json:"procs"`
+	SegsPerRank int            `json:"segs_per_rank"`
+	Scale       int64          `json:"scale"`
+	Points      []NodeAggPoint `json:"points"`
+}
+
+// nodeAggByte is the workload's deterministic content generator.
+func nodeAggByte(off int64) byte {
+	x := uint64(off)*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03
+	x ^= x >> 29
+	return byte(x * 0xBF58476D1CE4E5B9 >> 56)
+}
+
+// nodeAggWrite runs the granule-interleaved write at one setting in the
+// given environment. Rank r writes every granule k with k mod P == r, so
+// segment s (granules s*cores .. s*cores+cores-1) is written by the full
+// node block (s mod (P/cores)) — the aligned pattern aggregation collapses
+// exactly.
+func nodeAggWrite(opts NodeAggOptions, env *Env, cores int, segSize int64, aggOn bool) (PhaseResult, tcio.Stats) {
+	fileBytes := segSize * int64(opts.SegsPerRank) * int64(opts.Procs)
+	granule := segSize / int64(cores)
+	pr := PhaseResult{Method: MethodTCIO, Procs: opts.Procs, SimBytes: fileBytes * opts.Scale}
+	env.Machine.CoresPerNode = cores
+	cfg := tcio.Config{
+		SegmentSize:     segSize,
+		NumSegments:     opts.SegsPerRank,
+		NodeAggregation: aggOn,
+	}
+	var mu sync.Mutex
+	var agg tcio.Stats
+	rep, err := mpi.Run(mpi.Config{
+		Procs:   opts.Procs,
+		Machine: env.Machine,
+		FS:      env.FS,
+		Faults:  env.Faults,
+	}, func(c *mpi.Comm) error {
+		handle, err := tcio.Open(c, "nodeagg.dat", tcio.WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, granule)
+		for k := int64(c.Rank()); k*granule < fileBytes; k += int64(c.Size()) {
+			off := k * granule
+			for i := range buf {
+				buf[i] = nodeAggByte(off + int64(i))
+			}
+			if err := handle.WriteAt(off, buf); err != nil {
+				return err
+			}
+		}
+		cerr := handle.Close()
+		st := handle.Stats()
+		mu.Lock()
+		agg.NodeCombines += st.NodeCombines
+		agg.InterNodePutsSaved += st.InterNodePutsSaved
+		agg.Retries += st.Retries
+		agg.FSWrites += st.FSWrites
+		mu.Unlock()
+		return cerr
+	})
+	if err != nil {
+		pr.Failed = true
+		pr.FailReason = failReason(err)
+		return pr, agg
+	}
+	pr.Time = rep.MaxTime.Sub(0)
+	pr.MBs = stats.ThroughputMBs(pr.SimBytes, pr.Time)
+	pr.Net = rep.Net
+	pr.FS = rep.FS
+	pr.AllocRetries = rep.AllocRetries
+	if opts.Verify {
+		got := env.FS.Open("nodeagg.dat").Snapshot()
+		want := make([]byte, fileBytes)
+		for off := range want {
+			want[off] = nodeAggByte(int64(off))
+		}
+		if int64(len(got)) < fileBytes || !bytes.Equal(got[:fileBytes], want) {
+			pr.Failed = true
+			pr.FailReason = "ground-truth mismatch"
+		}
+	}
+	return pr, agg
+}
+
+// validateNodeAgg checks the sweep's tiling preconditions.
+func validateNodeAgg(opts NodeAggOptions) error {
+	for _, cores := range opts.Cores {
+		if cores < 1 || opts.Procs%cores != 0 {
+			return fmt.Errorf("bench: %d procs not a multiple of %d cores/node", opts.Procs, cores)
+		}
+		for _, segSize := range opts.SegSizes {
+			if segSize%int64(cores) != 0 {
+				return fmt.Errorf("bench: segment size %d not a multiple of %d cores/node", segSize, cores)
+			}
+		}
+	}
+	if opts.SegsPerRank < 1 {
+		return fmt.Errorf("bench: %d segments per rank", opts.SegsPerRank)
+	}
+	return nil
+}
+
+// NodeAgg runs the full sweep: every (cores, segment size) cell with
+// aggregation off and on, tabulating inter-node message counts and the
+// end-to-end virtual time side by side.
+func NodeAgg(opts NodeAggOptions) (stats.Table, *NodeAggReport, error) {
+	if err := validateNodeAgg(opts); err != nil {
+		return stats.Table{}, nil, err
+	}
+	t := stats.Table{
+		Title: fmt.Sprintf("Node aggregation: granule-interleaved write, %d processes, %d segments/rank",
+			opts.Procs, opts.SegsPerRank),
+		Headers: []string{"cores/node", "seg-size", "nodeagg", "time", "MB/s",
+			"inter-node-msgs", "local-msgs", "combines", "puts-saved", "result"},
+	}
+	report := &NodeAggReport{Procs: opts.Procs, SegsPerRank: opts.SegsPerRank, Scale: opts.Scale}
+	for _, cores := range opts.Cores {
+		for _, segSize := range opts.SegSizes {
+			for _, aggOn := range []bool{false, true} {
+				env, err := NewEnv(opts.Scale)
+				if err != nil {
+					return t, report, err
+				}
+				pr, st := nodeAggWrite(opts, env, cores, segSize, aggOn)
+				result := "ok"
+				if pr.Failed {
+					result = pr.FailReason
+				}
+				inter := pr.Net.Messages - pr.Net.LocalMessages
+				t.AddRow(
+					fmt.Sprintf("%d", cores),
+					fmt.Sprintf("%d", segSize*opts.Scale),
+					fmt.Sprintf("%v", aggOn),
+					pr.Time.String(),
+					fmt.Sprintf("%.1f", pr.MBs),
+					fmt.Sprintf("%d", inter),
+					fmt.Sprintf("%d", pr.Net.LocalMessages),
+					fmt.Sprintf("%d", st.NodeCombines),
+					fmt.Sprintf("%d", st.InterNodePutsSaved),
+					result,
+				)
+				report.Points = append(report.Points, NodeAggPoint{
+					CoresPerNode:  cores,
+					SegSize:       segSize * opts.Scale,
+					Aggregation:   aggOn,
+					VirtualTimeNs: int64(pr.Time),
+					MBs:           pr.MBs,
+					Messages:      pr.Net.Messages,
+					LocalMsgs:     pr.Net.LocalMessages,
+					InterNodeMsgs: inter,
+					NodeCombines:  st.NodeCombines,
+					PutsSaved:     st.InterNodePutsSaved,
+					FSWrites:      pr.FS.Writes,
+					Result:        result,
+				})
+				if opts.Progress != nil {
+					opts.Progress(fmt.Sprintf("nodeagg cores=%d seg=%d agg=%v: %v inter-node=%d (%s)",
+						cores, segSize*opts.Scale, aggOn, pr.Time, inter, result))
+				}
+			}
+		}
+	}
+	return t, report, nil
+}
+
+// NodeAggChaos runs a reduced sweep under deterministic fault injection and
+// tabulates only seed-deterministic counts, so two runs with the same seed
+// emit byte-identical tables — the CI reproducibility check for the
+// aggregated put path. Virtual times are deliberately absent (they depend on
+// scheduler interleaving); the message stream's identity, the combine
+// bookkeeping, and every fault roll do not: deposits never roll, and a
+// leader's combined puts roll SiteWinPut keyed by its own deterministic
+// shipment order.
+func NodeAggChaos(opts NodeAggOptions, seed int64) (stats.Table, error) {
+	if err := validateNodeAgg(opts); err != nil {
+		return stats.Table{}, err
+	}
+	t := stats.Table{
+		Title: fmt.Sprintf("Node aggregation chaos: %d processes, seed %d (counts are seed-deterministic)",
+			opts.Procs, seed),
+		Headers: []string{"cores/node", "nodeagg", "injected", "retries", "fs-writes",
+			"msgs", "local-msgs", "combines", "puts-saved", "result"},
+	}
+	chaosBase := DefaultChaos()
+	chaosBase.Seed = seed
+	segSize := opts.SegSizes[0]
+	for _, cores := range []int{1, opts.Cores[len(opts.Cores)-1]} {
+		for _, aggOn := range []bool{false, true} {
+			inj := chaosBase.ChaosInjector(0.01)
+			env, err := NewChaosEnv(opts.Scale, inj)
+			if err != nil {
+				return t, err
+			}
+			pr, st := nodeAggWrite(opts, env, cores, segSize, aggOn)
+			result := "ok"
+			if pr.Failed {
+				result = pr.FailReason
+			}
+			t.AddRow(
+				fmt.Sprintf("%d", cores),
+				fmt.Sprintf("%v", aggOn),
+				fmt.Sprintf("%d", inj.TotalInjected()),
+				fmt.Sprintf("%d", st.Retries),
+				fmt.Sprintf("%d", pr.FS.Writes),
+				fmt.Sprintf("%d", pr.Net.Messages),
+				fmt.Sprintf("%d", pr.Net.LocalMessages),
+				fmt.Sprintf("%d", st.NodeCombines),
+				fmt.Sprintf("%d", st.InterNodePutsSaved),
+				result,
+			)
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("nodeagg chaos cores=%d agg=%v: %s", cores, aggOn, result))
+			}
+		}
+	}
+	return t, nil
+}

@@ -77,6 +77,35 @@ func (m Machine) NodesFor(nprocs int) int {
 // NodeOf maps a rank to its node under block placement.
 func (m Machine) NodeOf(rank int) int { return rank / m.CoresPerNode }
 
+// NodeRankRange reports the half-open rank interval [lo, hi) placed on node
+// for a job of nprocs ranks: the inverse of NodeOf restricted to the job.
+// The last node of a job may be partially filled.
+func (m Machine) NodeRankRange(node, nprocs int) (lo, hi int) {
+	lo = node * m.CoresPerNode
+	hi = lo + m.CoresPerNode
+	if lo > nprocs {
+		lo = nprocs
+	}
+	if hi > nprocs {
+		hi = nprocs
+	}
+	return lo, hi
+}
+
+// NodeLeader elects the rank on node that acts on the node's behalf for the
+// entity identified by key (for example a destination segment index). The
+// election is a pure function of the placement and the key, so every rank
+// computes the same leader without communicating, and spreading keys across
+// the node's ranks keeps one rank from serializing all combined traffic.
+func (m Machine) NodeLeader(node, nprocs int, key int64) int {
+	lo, hi := m.NodeRankRange(node, nprocs)
+	n := hi - lo
+	if n <= 1 {
+		return lo
+	}
+	return lo + int(((key%int64(n))+int64(n))%int64(n))
+}
+
 // ErrOutOfMemory is returned (wrapped) when a simulated allocation exceeds a
 // node's capacity. Match it with errors.Is.
 var ErrOutOfMemory = errors.New("simulated out of memory")

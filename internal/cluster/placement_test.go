@@ -1,0 +1,76 @@
+package cluster
+
+import "testing"
+
+// TestNodeRankRangePartition checks that the node rank ranges tile the job
+// exactly: every rank lands in the range of its own node and no other.
+func TestNodeRankRangePartition(t *testing.T) {
+	m := Lonestar()
+	for _, cores := range []int{1, 2, 3, 5, 12} {
+		m.CoresPerNode = cores
+		for _, nprocs := range []int{1, 2, cores, cores + 1, 3*cores - 1, 4 * cores} {
+			seen := make([]int, nprocs)
+			for node := 0; node <= m.NodesFor(nprocs); node++ {
+				lo, hi := m.NodeRankRange(node, nprocs)
+				if lo > hi || lo < 0 || hi > nprocs {
+					t.Fatalf("cores=%d nprocs=%d node %d: range [%d,%d)", cores, nprocs, node, lo, hi)
+				}
+				for r := lo; r < hi; r++ {
+					seen[r]++
+					if m.NodeOf(r) != node {
+						t.Fatalf("cores=%d: rank %d in node %d's range but NodeOf=%d",
+							cores, r, node, m.NodeOf(r))
+					}
+				}
+			}
+			for r, n := range seen {
+				if n != 1 {
+					t.Fatalf("cores=%d nprocs=%d: rank %d covered %d times", cores, nprocs, r, n)
+				}
+			}
+		}
+	}
+}
+
+// TestNodeLeaderDeterministicInRange checks that the leader election is a
+// pure function of placement and key, always lands on the node it serves,
+// and spreads distinct keys across the node's ranks.
+func TestNodeLeaderDeterministicInRange(t *testing.T) {
+	m := Lonestar()
+	for _, cores := range []int{1, 2, 4, 12} {
+		m.CoresPerNode = cores
+		nprocs := 3*cores + 1 // last node partially filled
+		for node := 0; node < m.NodesFor(nprocs); node++ {
+			lo, hi := m.NodeRankRange(node, nprocs)
+			hit := make(map[int]bool)
+			for key := int64(-5); key < 40; key++ {
+				leader := m.NodeLeader(node, nprocs, key)
+				if leader < lo || leader >= hi {
+					t.Fatalf("cores=%d node=%d key=%d: leader %d outside [%d,%d)",
+						cores, node, key, leader, lo, hi)
+				}
+				if again := m.NodeLeader(node, nprocs, key); again != leader {
+					t.Fatalf("cores=%d node=%d key=%d: leader %d then %d", cores, node, key, leader, again)
+				}
+				hit[leader] = true
+			}
+			if hi-lo > 1 && len(hit) != hi-lo {
+				t.Fatalf("cores=%d node=%d: keys hit %d of %d ranks", cores, node, len(hit), hi-lo)
+			}
+		}
+	}
+}
+
+// TestNodeLeaderSingleCore pins the degenerate machine: with one rank per
+// node every rank leads its own node for every key.
+func TestNodeLeaderSingleCore(t *testing.T) {
+	m := Lonestar()
+	m.CoresPerNode = 1
+	for rank := 0; rank < 8; rank++ {
+		for key := int64(0); key < 10; key++ {
+			if got := m.NodeLeader(m.NodeOf(rank), 8, key); got != rank {
+				t.Fatalf("rank %d key %d: leader %d", rank, key, got)
+			}
+		}
+	}
+}

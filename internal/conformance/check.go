@@ -134,6 +134,10 @@ func (o *Outcome) checkTCIOStats(p *Program, run *engineRun) {
 				o.diverge("tcio", "stats", "rank %d eager-drained %d batches with write-behind disarmed",
 					rank, s.EagerDrains)
 			}
+			if !p.Knobs.NodeAggregation && (s.NodeCombines != 0 || s.InterNodePutsSaved != 0) {
+				o.diverge("tcio", "stats", "rank %d combined %d puts (saved %d) with node aggregation disarmed",
+					rank, s.NodeCombines, s.InterNodePutsSaved)
+			}
 			fsSum += s.FSWrites
 		}
 		if fsSum != run.fsWrites {
@@ -256,7 +260,7 @@ func (p *Program) summarize(tc, oc, va *engineRun, nDiv int) string {
 	var b strings.Builder
 	writes, reads := p.Ops()
 	fmt.Fprintf(&b, "seed=%d class=%d P=%d seg=%dx%d file=%d stripe=%dx%d wops=%d rops=%d truth=%.12s",
-		p.Seed, int(((p.Seed%4)+4)%4), p.Procs, p.SegmentSize, p.NumSegments,
+		p.Seed, int(((p.Seed%5)+5)%5), p.Procs, p.SegmentSize, p.NumSegments,
 		p.FileBytes, p.StripeSize, p.StripeCount, writes, reads, p.TruthSHA())
 
 	var pops, fsw int64
@@ -275,6 +279,17 @@ func (p *Program) summarize(tc, oc, va *engineRun, nDiv int) string {
 			residue += s.FlushResidue
 		}
 		fmt.Fprintf(&b, " wb[eager=%d residue=%d]", eager, residue)
+	}
+	if p.Knobs.NodeAggregation {
+		// Combine counts are a pure function of the program (leaders are
+		// elected deterministically, deposits complete before every sweep),
+		// so they belong in the diffable fingerprint.
+		var comb, saved int64
+		for _, s := range tc.wStats {
+			comb += s.NodeCombines
+			saved += s.InterNodePutsSaved
+		}
+		fmt.Fprintf(&b, " agg[cores=%d comb=%d saved=%d]", p.Knobs.CoresPerNode, comb, saved)
 	}
 	fmt.Fprintf(&b, " ocio[ret=%d inj=%s%s] van[ret=%d inj=%s%s]",
 		oc.retries, orDash(oc.injected), phaseMark(oc),

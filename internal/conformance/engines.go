@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/tcio/tcio/internal/cluster"
 	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/mpiio"
@@ -83,6 +84,18 @@ func (p *Program) aggregators() int {
 	return n
 }
 
+// machine builds the program's simulated machine: the default testbed,
+// with the rank placement overridden when the CoresPerNode knob is set.
+// Every engine runs on the same machine so the placement cannot itself
+// cause a divergence.
+func (p *Program) machine() cluster.Machine {
+	m := cluster.Lonestar()
+	if p.Knobs.CoresPerNode > 0 {
+		m.CoresPerNode = p.Knobs.CoresPerNode
+	}
+	return m
+}
+
 // tcioConfig maps the program's knobs onto a tcio.Config.
 func (p *Program) tcioConfig(rec *trace.Recorder) tcio.Config {
 	k := p.Knobs
@@ -99,6 +112,7 @@ func (p *Program) tcioConfig(rec *trace.Recorder) tcio.Config {
 		PrefetchSegments:     k.PrefetchSegments,
 		MaxCachedSegments:    k.MaxCachedSegments,
 		EmulateTwoSided:      k.EmulateTwoSided,
+		NodeAggregation:      k.NodeAggregation,
 		Trace:                rec,
 	}
 }
@@ -152,7 +166,7 @@ func runTCIO(p *Program, truth []byte) *engineRun {
 
 	out.wStats = make([]tcio.Stats, p.Procs)
 	var mu sync.Mutex
-	_, err := mpi.Run(mpi.Config{Procs: p.Procs, FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+	_, err := mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
 		f, err := tcio.Open(c, confFile, tcio.WriteMode, cfg)
 		if err != nil {
 			return err
@@ -195,7 +209,7 @@ func runTCIO(p *Program, truth []byte) *engineRun {
 	out.snapshotWritePhase(fs)
 
 	out.rStats = make([]tcio.Stats, p.Procs)
-	_, err = mpi.Run(mpi.Config{Procs: p.Procs, FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+	_, err = mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
 		f, err := tcio.Open(c, confFile, tcio.ReadMode, cfg)
 		if err != nil {
 			return err
@@ -256,7 +270,7 @@ func runVanilla(p *Program, truth []byte) *engineRun {
 	fs := p.newFS(inj)
 
 	var mu sync.Mutex
-	_, err := mpi.Run(mpi.Config{Procs: p.Procs, FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+	_, err := mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
 		f := mpiio.Open(c, confFile)
 		f.SetSieving(p.Knobs.Sieving)
 		var opErr error
@@ -288,7 +302,7 @@ func runVanilla(p *Program, truth []byte) *engineRun {
 	}
 	out.snapshotWritePhase(fs)
 
-	_, err = mpi.Run(mpi.Config{Procs: p.Procs, FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+	_, err = mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
 		f := mpiio.Open(c, confFile)
 		f.SetSieving(p.Knobs.Sieving)
 		var caps []readCapture
@@ -443,7 +457,7 @@ func runOCIO(p *Program, truth []byte) *engineRun {
 	fs := p.newFS(inj)
 
 	var mu sync.Mutex
-	_, err := mpi.Run(mpi.Config{Procs: p.Procs, FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+	_, err := mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
 		f := mpiio.Open(c, confFile)
 		if err := f.SetAggregators(p.aggregators()); err != nil {
 			return err
@@ -473,7 +487,7 @@ func runOCIO(p *Program, truth []byte) *engineRun {
 	}
 	out.snapshotWritePhase(fs)
 
-	_, err = mpi.Run(mpi.Config{Procs: p.Procs, FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+	_, err = mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
 		f := mpiio.Open(c, confFile)
 		if err := f.SetAggregators(p.aggregators()); err != nil {
 			return err

@@ -2,7 +2,7 @@ package conformance
 
 // The seed-deterministic program generator. One seed fixes everything:
 // geometry, knobs, chaos rules, and every op of every round. Seeds cycle
-// through four knob classes so any contiguous seed sweep exercises every
+// through five knob classes so any contiguous seed sweep exercises every
 // engine feature (and gives every mutant of the smoke gate something to
 // bite on) within a small budget:
 //
@@ -12,6 +12,8 @@ package conformance
 //	          segments (the configuration whose eager/residue counters
 //	          are scheduling-independent; see DESIGN.md §5e).
 //	class 3 — chaos: OST and one-sided put fault rules armed.
+//	class 4 — node aggregation: several ranks per node, co-located
+//	          ranks' shipments merged by per-segment node leaders.
 //
 // Cross-rank write disjointness is enforced by construction: bytes are
 // dealt to ranks block-cyclically over a random granule, and every write
@@ -24,7 +26,7 @@ import "math/rand"
 // the identical program (Go's math/rand generators are stable).
 func Generate(seed int64) *Program {
 	rng := rand.New(rand.NewSource(seed))
-	class := int(((seed % 4) + 4) % 4)
+	class := int(((seed % 5) + 5) % 5)
 
 	p := &Program{Seed: seed, Procs: 2 + rng.Intn(4)}
 	if class == 0 && rng.Intn(5) == 0 {
@@ -88,6 +90,13 @@ func genKnobs(rng *rand.Rand, class int, seed int64) Knobs {
 		k.WinPutProb = probs[rng.Intn(4)]
 		if k.OSTWriteProb == 0 && k.OSTReadProb == 0 && k.WinPutProb == 0 {
 			k.OSTWriteProb = 0.05
+		}
+	case 4: // node aggregation (block-cyclic territory interleaves ranks
+		// within segments, so co-located ranks' runs genuinely merge)
+		k.NodeAggregation = true
+		k.CoresPerNode = []int{1, 2, 3, 4}[rng.Intn(4)]
+		if rng.Intn(3) == 0 {
+			k.DemandPopulate = true
 		}
 	}
 	return k

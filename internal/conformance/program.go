@@ -63,6 +63,11 @@ type Knobs struct {
 	PrefetchSegments     int     `json:"prefetch_segments,omitempty"`
 	MaxCachedSegments    int     `json:"max_cached_segments,omitempty"`
 	EmulateTwoSided      bool    `json:"emulate_two_sided,omitempty"`
+	NodeAggregation      bool    `json:"node_aggregation,omitempty"`
+	// CoresPerNode overrides the simulated machine's rank placement
+	// (0 = the default testbed). Class 4 draws small values so several
+	// ranks share a node and the intra-node aggregation path is exercised.
+	CoresPerNode int `json:"cores_per_node,omitempty"`
 
 	// OCIO / vanilla MPI-IO configuration.
 	Aggregators int  `json:"aggregators,omitempty"` // 0 = every rank
@@ -196,7 +201,8 @@ func (p *Program) Validate() error {
 	case p.Knobs.WriteBehindThreshold < 0 || p.Knobs.WriteBehindThreshold > 1:
 		return fmt.Errorf("conformance: write-behind threshold %g", p.Knobs.WriteBehindThreshold)
 	case p.Knobs.DrainWorkers < 0 || p.Knobs.FetchBatch < 0 || p.Knobs.PipelineDepth < 0 ||
-		p.Knobs.WriteBehindQueue < 0 || p.Knobs.PrefetchSegments < 0 || p.Knobs.MaxCachedSegments < 0:
+		p.Knobs.WriteBehindQueue < 0 || p.Knobs.PrefetchSegments < 0 || p.Knobs.MaxCachedSegments < 0 ||
+		p.Knobs.CoresPerNode < 0:
 		return fmt.Errorf("conformance: negative tcio knob: %+v", p.Knobs)
 	case p.Knobs.Aggregators < 0 || p.Knobs.Aggregators > p.Procs:
 		return fmt.Errorf("conformance: %d aggregators with %d procs", p.Knobs.Aggregators, p.Procs)

@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The runtime stages a private copy of every message payload (eager
+// buffering: the sender may reuse its buffer the instant Send returns).
+// Those copies are the hottest real-memory allocation in the simulator —
+// one per Send/Bcast/Allgather payload — so they are drawn from per-size
+// free lists instead of the heap. Pooling is purely a real-memory
+// optimization: staging copies were never charged to the simulated-memory
+// accountant and plain allocation is not a fault site, so request and
+// fault identity are byte-for-byte unchanged (see BenchmarkPingPong*).
+//
+// Buffers re-enter the pool only through Comm.Recycle: the runtime cannot
+// know when a receiver is done with a delivered payload, so reclamation is
+// the application's opt-in.
+
+const (
+	// minPoolShift is the smallest pooled size class (64 B); tinier
+	// payloads round up to it.
+	minPoolShift = 6
+	// maxPoolShift is the largest pooled size class (64 MiB); larger
+	// payloads fall back to the heap.
+	maxPoolShift = 26
+)
+
+var msgPools [maxPoolShift - minPoolShift + 1]sync.Pool
+
+// getBuf returns a length-n buffer whose capacity is the power-of-two size
+// class covering n. Callers overwrite all n bytes, so recycled contents
+// never leak between messages.
+func getBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	shift := bits.Len(uint(n - 1))
+	if shift < minPoolShift {
+		shift = minPoolShift
+	}
+	if shift > maxPoolShift {
+		return make([]byte, n)
+	}
+	if v := msgPools[shift-minPoolShift].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<shift)
+}
+
+// recycleBuf returns a buffer to its size-class pool. Only buffers whose
+// capacity is exactly a pool class are accepted — that is every buffer
+// getBuf handed out, and excludes arbitrary caller slices.
+func recycleBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minPoolShift || c > 1<<maxPoolShift || c&(c-1) != 0 {
+		return
+	}
+	b = b[:c]
+	msgPools[bits.TrailingZeros(uint(c))-minPoolShift].Put(&b)
+}
+
+// Recycle returns a delivered payload to the runtime's staging-buffer pool.
+// The caller must be the payload's sole owner: point-to-point payloads
+// (Recv, Request.Wait, Alltoallv) are delivered to exactly one rank and are
+// safe to recycle once their bytes are consumed; Bcast and AllgatherBytes
+// results are shared by every rank and must never be recycled. Recycling
+// does not touch the virtual-time or fault models.
+func (c *Comm) Recycle(buf []byte) { recycleBuf(buf) }

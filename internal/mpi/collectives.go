@@ -182,7 +182,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	}
 	var val interface{}
 	if c.rank == root {
-		buf := make([]byte, len(data))
+		buf := getBuf(len(data))
 		copy(buf, data)
 		val = buf
 	}
@@ -199,7 +199,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // AllgatherBytes gathers each rank's (possibly differently sized) payload
 // in rank order.
 func (c *Comm) AllgatherBytes(data []byte) ([][]byte, error) {
-	buf := make([]byte, len(data))
+	buf := getBuf(len(data))
 	copy(buf, data)
 	res, err := c.collect(buf, func(vals []interface{}) interface{} {
 		out := make([][]byte, len(vals))

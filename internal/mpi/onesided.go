@@ -162,11 +162,18 @@ func (w *Win) Local() []byte { return w.g.bufs[w.c.rank] }
 // a rewrite put landing mid-read would otherwise be a data race.
 func (w *Win) SnapshotLocal(off, n int64) []byte {
 	out := make([]byte, n)
+	w.SnapshotLocalInto(out, off)
+	return out
+}
+
+// SnapshotLocalInto is SnapshotLocal copying len(dst) bytes from off into a
+// caller-owned buffer, so steady-state background lanes can reuse one
+// staging arena instead of allocating per run.
+func (w *Win) SnapshotLocalInto(dst []byte, off int64) {
 	mu := &w.g.datamu[w.c.rank]
 	mu.Lock()
-	copy(out, w.g.bufs[w.c.rank][off:off+n])
+	copy(dst, w.g.bufs[w.c.rank][off:off+int64(len(dst))])
 	mu.Unlock()
-	return out
 }
 
 // Lock opens an access epoch on target's window (MPI_Win_lock). exclusive

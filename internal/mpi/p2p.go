@@ -85,7 +85,7 @@ func (c *Comm) send(dst, tag int, data []byte, class netsim.Class, simBytes int6
 	if simBytes < 0 {
 		simBytes = c.w.machine.Scale(int64(len(data)))
 	}
-	buf := make([]byte, len(data))
+	buf := getBuf(len(data))
 	copy(buf, data)
 	depart := c.clock().Advance(sendOverhead)
 	arrival := c.w.net.Transfer(

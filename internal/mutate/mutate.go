@@ -35,6 +35,10 @@ const (
 	// StorageDropLastRequest makes the storage layer's serial path drop
 	// the last request of every multi-request batch.
 	StorageDropLastRequest = "storage.drop-last-request"
+	// TCIONodeAggDropDeposit makes the node-aggregation merge drop the
+	// last co-located origin's deposited runs when combining a segment's
+	// traffic into one put — that rank's bytes never reach the owner.
+	TCIONodeAggDropDeposit = "tcio.nodeagg-drop-deposit"
 )
 
 // All lists every mutant the gate must catch.
@@ -47,5 +51,6 @@ func All() []string {
 		TCIOEagerWritesUncounted,
 		MPIIOFlattenDropRun,
 		StorageDropLastRequest,
+		TCIONodeAggDropDeposit,
 	}
 }

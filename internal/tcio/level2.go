@@ -131,6 +131,12 @@ func (f *File) segmentOwner(seg int64) (rank int, slot int64) {
 // same owner pipeline; Flush and Close end all open epochs with one wave of
 // unlocks whose completion waits overlap.
 func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
+	if f.aggEnabled {
+		// Aggregated path: hand the runs to this segment's node leader over
+		// the intra-node fabric; the leader puts the node's merged runs at
+		// the next collective (nodeagg.go).
+		return f.depositForAggregation(seg, runs, payload)
+	}
 	owner, slot := f.segmentOwner(seg)
 	if slot >= int64(f.numSeg) {
 		return fmt.Errorf("%w: segment %d needs slot %d of %d", ErrCapacity, seg, slot, f.numSeg)
@@ -140,32 +146,10 @@ func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
 		winRuns[i] = extent.Extent{Off: slot*f.segSize + r.Off, Len: r.Len}
 	}
 	t0 := f.c.Now()
-	if f.win.Held(owner) {
-		// Reuse marks the epoch hot: move it to the back of the LRU order
-		// so eviction hits the coldest target, not the hottest.
-		f.touchEpoch(owner)
-	} else {
-		// Bound the open epochs: evict the least-recently-used one once
-		// the window is full.
-		for len(f.openOwners) >= f.cfg.PipelineDepth {
-			coldest := f.openOwners[0]
-			f.openOwners = f.openOwners[1:]
-			f.stats.EpochEvictions++
-			if err := f.win.Unlock(coldest); err != nil {
-				return err
-			}
-		}
-		if err := f.win.Lock(owner, false); err != nil {
-			return err
-		}
-		f.openOwners = append(f.openOwners, owner)
+	if err := f.openEpochFor(owner); err != nil {
+		return err
 	}
-	// Bound the outstanding transfers, independently of the epochs: retire
-	// the oldest Rput handle when the pipeline window is full.
-	for len(f.inflight) >= f.cfg.PipelineDepth {
-		f.inflight[0].Complete()
-		f.inflight = f.inflight[1:]
-	}
+	f.reserveInflight()
 	t1 := f.c.Now()
 	h, err := f.putSegmentsRetry(owner, seg, winRuns, payload)
 	if err != nil {
@@ -179,6 +163,42 @@ func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
 	f.stats.Level1Flush++
 	f.emit(trace.KindFlush, t0, int64(len(payload)), fmt.Sprintf("seg=%d owner=%d runs=%d", seg, owner, len(runs)))
 	return f.maybeWriteBehind()
+}
+
+// openEpochFor ensures a shared put epoch is open on owner, touching the
+// LRU order on reuse and evicting the coldest epoch when the pipeline
+// window is full.
+func (f *File) openEpochFor(owner int) error {
+	if f.win.Held(owner) {
+		// Reuse marks the epoch hot: move it to the back of the LRU order
+		// so eviction hits the coldest target, not the hottest.
+		f.touchEpoch(owner)
+		return nil
+	}
+	// Bound the open epochs: evict the least-recently-used one once the
+	// window is full.
+	for len(f.openOwners) >= f.cfg.PipelineDepth {
+		coldest := f.openOwners[0]
+		f.openOwners = f.openOwners[1:]
+		f.stats.EpochEvictions++
+		if err := f.win.Unlock(coldest); err != nil {
+			return err
+		}
+	}
+	if err := f.win.Lock(owner, false); err != nil {
+		return err
+	}
+	f.openOwners = append(f.openOwners, owner)
+	return nil
+}
+
+// reserveInflight bounds the outstanding transfers, independently of the
+// epochs: the oldest Rput handle retires when the pipeline window is full.
+func (f *File) reserveInflight() {
+	for len(f.inflight) >= f.cfg.PipelineDepth {
+		f.inflight[0].Complete()
+		f.inflight = f.inflight[1:]
+	}
 }
 
 // touchEpoch moves owner to the most-recently-used end of openOwners.

@@ -43,6 +43,13 @@ type Stats struct {
 	// demand path would not have issued (see DESIGN.md §2b).
 	PrefetchWasted int64
 
+	// Node aggregation (Config.NodeAggregation).
+	NodeCombines int64 // combined puts this rank issued as a node leader
+	// InterNodePutsSaved counts the inter-node one-sided puts the combine
+	// avoided: for each combined put to a remote owner, one fewer than the
+	// deposits merged (each deposit would have been its own put).
+	InterNodePutsSaved int64
+
 	// EpochEvictions counts put epochs closed early because the pipeline
 	// window was full — churn the LRU eviction policy is meant to minimize.
 	EpochEvictions int64

@@ -150,6 +150,17 @@ type Config struct {
 	// evict the very segments the lookahead just staged, turning every
 	// prefetch into a wasted duplicate read.
 	MaxCachedSegments int
+	// NodeAggregation inserts an intra-node aggregation tier between the
+	// level-1 flush and the level-2 one-sided ship: co-located ranks hand
+	// their dirty runs to a deterministic per-segment node leader over the
+	// intra-node path (MemBandwidth, not the NIC), and at each collective
+	// (Flush/Close) the leader merges a segment's deposits into one
+	// combined indexed put — one inter-node message per (node, segment)
+	// instead of one per (rank, segment). Off (the default) keeps today's
+	// per-rank ship path bit-identical, including its fault rolls; on a
+	// machine with one core per node the tier disables itself and the path
+	// is likewise unchanged. See DESIGN.md §2c.
+	NodeAggregation bool
 	// EmulateTwoSided is an ablation switch: level-1 <-> level-2 transfers
 	// are charged as two-sided (matched send/receive) messages instead of
 	// one-sided RDMA, isolating the paper's claim that one-sided
@@ -195,6 +206,12 @@ type File struct {
 
 	win  *mpi.Win
 	meta *l2meta
+	// agg is the node-shared deposit staging of the aggregation tier;
+	// aggEnabled arms the tier (NodeAggregation on a multi-core machine —
+	// a global predicate, identical on every rank, because Flush/Close
+	// insert an extra collective when it holds).
+	agg        *aggStaging
+	aggEnabled bool
 	// store is the file system access path: drain, populate, and preload
 	// batches go through it for retry, tracing, virtual-time charging, and
 	// the per-OST worker fan-out.
@@ -225,6 +242,12 @@ type File struct {
 	wbOutstanding []simtime.Time
 	wbBusy        simtime.Duration
 	wbWaited      simtime.Duration
+
+	// Reused staging buffers (plain memory, outside the simulated-memory
+	// accountant — see drain.go): popBuf stages demand populations, wbArena
+	// stages one write-behind batch's run snapshots.
+	popBuf  []byte
+	wbArena []byte
 
 	// Prefetch lane (PrefetchSegments > 0): segment staging buffers read
 	// ahead of demand, keyed by global segment, in LRU insertion order.
@@ -322,17 +345,25 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if err != nil {
 		return nil, err
 	}
+	type sharedState struct {
+		meta *l2meta
+		agg  *aggStaging
+	}
 	shared, err := c.SharedOnce(func() interface{} {
-		return &l2meta{
-			dirty:     make(map[int64][]extent.Extent),
-			pending:   make(map[int64][]extent.Extent),
-			populated: make(map[int64]bool),
-			arrival:   make(map[int64]simtime.Time),
+		return &sharedState{
+			meta: &l2meta{
+				dirty:     make(map[int64][]extent.Extent),
+				pending:   make(map[int64][]extent.Extent),
+				populated: make(map[int64]bool),
+				arrival:   make(map[int64]simtime.Time),
+			},
+			agg: newAggStaging(),
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
+	ss := shared.(*sharedState)
 	store := storage.NewClient(c.FS().Open(name), c.Node(), c.Rank(), c)
 	store.SetRetryPolicy(retry)
 	store.SetTrace(cfg.Trace)
@@ -346,7 +377,8 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 		segSize: cfg.SegmentSize,
 		numSeg:  cfg.NumSegments,
 		win:     win,
-		meta:    shared.(*l2meta),
+		meta:    ss.meta,
+		agg:     ss.agg,
 		store:   store,
 		retry:   retry,
 		l1Seg:   -1,
@@ -363,6 +395,12 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if cfg.EmulateTwoSided {
 		win.SetClass(netsim.TwoSided)
 	}
+	// The aggregation tier arms only when a node can host more than one
+	// rank — a property of the machine, not of any particular rank, so all
+	// ranks agree on the collective structure of Flush and Close. With one
+	// core per node (or a single rank) the predicate is false and the ship
+	// path is today's, bit for bit.
+	f.aggEnabled = cfg.NodeAggregation && c.Machine().CoresPerNode > 1 && c.Size() > 1
 	if cfg.PrefetchSegments > 0 {
 		// Plain staging memory, like populate's: the cache is transient
 		// library scratch, deliberately outside the simulated-memory
@@ -412,11 +450,30 @@ func (f *File) Flush() error {
 		if err := f.flushLevel1(); err != nil {
 			return err
 		}
+		if f.aggEnabled {
+			// Every rank's deposits must be staged before any leader
+			// combines; the leaders then issue the node's merged puts.
+			if err := f.c.Barrier(); err != nil {
+				return err
+			}
+			if err := f.leaderSweep(); err != nil {
+				return err
+			}
+		}
 		if err := f.closeEpochs(); err != nil {
 			return err
 		}
 	}
-	return f.c.Barrier()
+	if err := f.c.Barrier(); err != nil {
+		return err
+	}
+	if f.mode == WriteMode && f.aggEnabled {
+		// Runs become dirty only at the combine, so the write-behind scan
+		// runs here instead of per shipment; the barrier above put every
+		// combined arrival in this rank's past.
+		return f.maybeWriteBehind()
+	}
+	return nil
 }
 
 // Close ends the session (tcio_close). It is collective: in write mode the
@@ -431,6 +488,16 @@ func (f *File) Close() error {
 	switch f.mode {
 	case WriteMode:
 		opErr = f.flushLevel1()
+		if f.aggEnabled {
+			// Collective even under a local error: peers are already in the
+			// barrier, and an aborted world surfaces through it.
+			if err := f.c.Barrier(); err != nil {
+				return err
+			}
+			if err := f.leaderSweep(); err != nil && opErr == nil {
+				opErr = err
+			}
+		}
 		if err := f.closeEpochs(); err != nil && opErr == nil {
 			opErr = err
 		}

@@ -29,6 +29,7 @@ const (
 	KindDrain    Kind = "drain"    // level-2 -> file system write
 	KindRetry    Kind = "retry"    // transient fault absorbed by backoff
 	KindPrefetch Kind = "prefetch" // segment read ahead on the background lane
+	KindCombine  Kind = "combine"  // node leader merged co-located ranks' runs into one put
 )
 
 // Event is one recorded operation.
