@@ -12,6 +12,8 @@
 //	tciobench -overlap -chaos    # overlap under faults (counts-only table)
 //	tciobench -nodeagg           # intra-node aggregation sweep (cores/node x segment size)
 //	tciobench -nodeagg -chaos    # node aggregation under faults (counts-only table)
+//	tciobench -sieve             # noncontiguous read engine sweep (sieve budget x holes x granule)
+//	tciobench -sieve -chaos      # sieved reads under faults (counts-only table)
 //	tciobench -overlap -json results/BENCH_pr3.json   # machine-readable results
 //	tciobench -conform -seed 1 -progs 64   # randomized differential conformance sweep
 //	tciobench -all               # everything
@@ -46,6 +48,7 @@ func main() {
 		dsweep    = flag.Bool("drainsweep", false, "sweep TCIO drain fan-out on a multi-OST stripe")
 		overlap   = flag.Bool("overlap", false, "sweep write-behind and read-prefetch overlap settings")
 		nodeagg   = flag.Bool("nodeagg", false, "sweep intra-node aggregation (cores/node x segment size)")
+		sieve     = flag.Bool("sieve", false, "sweep the noncontiguous read engine (sieve budget x hole density x interleave granule)")
 		jsonPath  = flag.String("json", "", "also write -overlap results as JSON to this path")
 		all       = flag.Bool("all", false, "run everything")
 		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
@@ -74,19 +77,21 @@ func main() {
 		}
 		return
 	}
-	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*nodeagg && !*all {
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*nodeagg && !*sieve && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// "-overlap -chaos" / "-nodeagg -chaos" (without -all) mean the
-	// feature's chaos table alone, not the regular chaos sweep plus a clean
-	// feature sweep.
+	// "-overlap -chaos" / "-nodeagg -chaos" / "-sieve -chaos" (without -all)
+	// mean the feature's chaos table alone, not the regular chaos sweep plus
+	// a clean feature sweep.
 	overlapChaos := *overlap && *chaos && !*all
 	nodeaggChaos := *nodeagg && *chaos && !*all
+	sieveChaos := *sieve && *chaos && !*all
 	if err := run(*fig5 || *all, *fig6 || *all, *fig7 || *all, *tables || *all,
-		*ablations || *all, (*chaos || *all) && !overlapChaos && !nodeaggChaos, *dsweep || *all,
+		*ablations || *all, (*chaos || *all) && !overlapChaos && !nodeaggChaos && !sieveChaos, *dsweep || *all,
 		(*overlap || *all) && !overlapChaos, overlapChaos,
-		(*nodeagg || *all) && !nodeaggChaos, nodeaggChaos, *jsonPath, *procs, *lenSim, *lenReal,
+		(*nodeagg || *all) && !nodeaggChaos, nodeaggChaos,
+		(*sieve || *all) && !sieveChaos, sieveChaos, *jsonPath, *procs, *lenSim, *lenReal,
 		*seed, *rates, *cprocs, *dworkers, *verify, *csv, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tciobench:", err)
 		os.Exit(1)
@@ -94,7 +99,7 @@ func main() {
 }
 
 func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overlapChaos,
-	nodeagg, nodeaggChaos bool,
+	nodeagg, nodeaggChaos, sieve, sieveChaos bool,
 	jsonPath, procsSpec string, lenSim, lenReal int, seed int64, ratesSpec string,
 	chaosProcs, drainWorkers int, verify, csv, quiet bool) error {
 	emit := func(t stats.Table) error {
@@ -286,6 +291,45 @@ func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overla
 				return err
 			}
 			if err := emit(t); err != nil {
+				return err
+			}
+			if jsonPath != "" {
+				blob, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				if !quiet {
+					fmt.Fprintln(os.Stderr, "  ", "wrote", jsonPath)
+				}
+			}
+		}
+	}
+
+	if sieve || sieveChaos {
+		sopts := bench.DefaultSieve()
+		sopts.Verify = verify
+		sopts.Progress = progress
+		if sieveChaos {
+			t, err := bench.SieveChaos(sopts, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		if sieve {
+			holes, inter, report, err := bench.Sieve(sopts)
+			if err != nil {
+				return err
+			}
+			if err := emit(holes); err != nil {
+				return err
+			}
+			if err := emit(inter); err != nil {
 				return err
 			}
 			if jsonPath != "" {

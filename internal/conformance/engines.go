@@ -111,6 +111,8 @@ func (p *Program) tcioConfig(rec *trace.Recorder) tcio.Config {
 		WriteBehindQueue:     k.WriteBehindQueue,
 		PrefetchSegments:     k.PrefetchSegments,
 		MaxCachedSegments:    k.MaxCachedSegments,
+		SieveBuffer:          k.SieveBuffer,
+		CollectiveRead:       k.CollectiveRead,
 		EmulateTwoSided:      k.EmulateTwoSided,
 		NodeAggregation:      k.NodeAggregation,
 		Trace:                rec,

@@ -2,7 +2,7 @@ package conformance
 
 // The seed-deterministic program generator. One seed fixes everything:
 // geometry, knobs, chaos rules, and every op of every round. Seeds cycle
-// through five knob classes so any contiguous seed sweep exercises every
+// through six knob classes so any contiguous seed sweep exercises every
 // engine feature (and gives every mutant of the smoke gate something to
 // bite on) within a small budget:
 //
@@ -14,6 +14,9 @@ package conformance
 //	class 3 — chaos: OST and one-sided put fault rules armed.
 //	class 4 — node aggregation: several ranks per node, co-located
 //	          ranks' shipments merged by per-segment node leaders.
+//	class 5 — noncontiguous read engine: read-heavy interleaved rounds
+//	          with holes, sweeping the sieve budget (list I/O through
+//	          whole-segment covers) and the two-phase collective read.
 //
 // Cross-rank write disjointness is enforced by construction: bytes are
 // dealt to ranks block-cyclically over a random granule, and every write
@@ -26,7 +29,7 @@ import "math/rand"
 // the identical program (Go's math/rand generators are stable).
 func Generate(seed int64) *Program {
 	rng := rand.New(rand.NewSource(seed))
-	class := int(((seed % 5) + 5) % 5)
+	class := int(((seed % 6) + 6) % 6)
 
 	p := &Program{Seed: seed, Procs: 2 + rng.Intn(4)}
 	if class == 0 && rng.Intn(5) == 0 {
@@ -40,7 +43,13 @@ func Generate(seed int64) *Program {
 	stripes := []int64{16, 32, 64, 128, 256}
 	p.StripeSize = stripes[rng.Intn(len(stripes))]
 	p.StripeCount = 1 + rng.Intn(4)
-	p.Knobs = genKnobs(rng, class, seed)
+	p.Knobs = genKnobs(rng, class, seed, p.SegmentSize)
+	if p.Knobs.Aggregators > p.Procs {
+		// The knob is drawn before Procs-dependent shaping; an
+		// over-subscribed draw would fail Validate (the engine driver only
+		// clamps at run time).
+		p.Knobs.Aggregators = p.Procs
+	}
 
 	territory := genTerritory(rng, class, p)
 	nextID := int64(1)
@@ -49,14 +58,21 @@ func Generate(seed int64) *Program {
 		p.WriteRounds = append(p.WriteRounds, genWriteRound(rng, p, territory, &nextID))
 	}
 	readRounds := 1 + rng.Intn(3)
+	if class == 5 {
+		readRounds = 2 + rng.Intn(3) // read-heavy
+	}
 	for r := 0; r < readRounds; r++ {
-		p.ReadRounds = append(p.ReadRounds, genReadRound(rng, p, r == 0))
+		if class == 5 {
+			p.ReadRounds = append(p.ReadRounds, genHoleReadRound(rng, p, r))
+		} else {
+			p.ReadRounds = append(p.ReadRounds, genReadRound(rng, p, r == 0))
+		}
 	}
 	return p
 }
 
 // genKnobs draws the library configuration for one knob class.
-func genKnobs(rng *rand.Rand, class int, seed int64) Knobs {
+func genKnobs(rng *rand.Rand, class int, seed, segSize int64) Knobs {
 	k := Knobs{
 		DrainWorkers:  []int{0, 1, 2, 4}[rng.Intn(4)],
 		DisableLevel1: rng.Intn(5) == 0,
@@ -97,6 +113,21 @@ func genKnobs(rng *rand.Rand, class int, seed int64) Knobs {
 		k.CoresPerNode = []int{1, 2, 3, 4}[rng.Intn(4)]
 		if rng.Intn(3) == 0 {
 			k.DemandPopulate = true
+		}
+	case 5: // noncontiguous read engine (hole-y rounds, see genHoleReadRound)
+		k.DemandPopulate = true
+		// Budgets lean large so segments' runs actually join under covers
+		// (the scatter mutant only bites on multi-run covers); the
+		// occasional 0 keeps the degenerate whole-segment path in rotation.
+		k.SieveBuffer = []int64{16, segSize / 2, segSize, 2 * segSize}[rng.Intn(4)]
+		if rng.Intn(8) == 0 {
+			k.SieveBuffer = 0
+		}
+		k.CollectiveRead = rng.Intn(3) > 0
+		if !k.CollectiveRead && rng.Intn(3) == 0 {
+			// Prefetch/sieve interplay — only on the independent path, where
+			// the lookahead runs.
+			k.PrefetchSegments = 1 + rng.Intn(2)
 		}
 	}
 	return k
@@ -173,6 +204,37 @@ func genWriteRound(rng *rand.Rand, p *Program, territory [][]Op, nextID *int64) 
 			round.Ops = append(round.Ops, Op{Rank: rank, Off: off, Len: length, ID: *nextID})
 			*nextID++
 		}
+	}
+	return round
+}
+
+// genHoleReadRound emits one class-5 read round: the file is cut into
+// granule blocks dealt to ranks round-robin (rotated by the round number,
+// so consecutive rounds shift the interleave), and each rank reads only a
+// random subset of its blocks — leaving holes between its runs, the
+// pattern data sieving trades request count against. Some runs shrink
+// within their block, producing sub-granule holes that never align with
+// segment boundaries.
+func genHoleReadRound(rng *rand.Rand, p *Program, phase int) Round {
+	var round Round
+	gran := []int64{4, 8, 16}[rng.Intn(3)] * int64(1+rng.Intn(2))
+	// Bound the op count: large files read at coarser granules.
+	for gran*128 < p.FileBytes {
+		gran *= 2
+	}
+	for b, off := 0, int64(0); off < p.FileBytes; b, off = b+1, off+gran {
+		rank := (b + phase) % p.Procs
+		if rng.Intn(10) < 4 { // ~40% of blocks are holes
+			continue
+		}
+		n := gran
+		if off+n > p.FileBytes {
+			n = p.FileBytes - off
+		}
+		if rng.Intn(4) == 0 {
+			n = 1 + rng.Int63n(n)
+		}
+		round.Ops = append(round.Ops, Op{Rank: rank, Off: off, Len: n})
 	}
 	return round
 }

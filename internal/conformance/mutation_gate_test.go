@@ -22,8 +22,8 @@ import (
 )
 
 // gateBudget is the number of generated programs each mutant gets to
-// survive; the budget spans all four knob classes several times over.
-const gateBudget = 24
+// survive; the budget gives each of the six knob classes five rounds.
+const gateBudget = 30
 
 func TestMutationGate(t *testing.T) {
 	if !mutate.Built {

@@ -62,6 +62,8 @@ type Knobs struct {
 	WriteBehindQueue     int     `json:"write_behind_queue,omitempty"`
 	PrefetchSegments     int     `json:"prefetch_segments,omitempty"`
 	MaxCachedSegments    int     `json:"max_cached_segments,omitempty"`
+	SieveBuffer          int64   `json:"sieve_buffer,omitempty"`
+	CollectiveRead       bool    `json:"collective_read,omitempty"`
 	EmulateTwoSided      bool    `json:"emulate_two_sided,omitempty"`
 	NodeAggregation      bool    `json:"node_aggregation,omitempty"`
 	// CoresPerNode overrides the simulated machine's rank placement
@@ -202,7 +204,7 @@ func (p *Program) Validate() error {
 		return fmt.Errorf("conformance: write-behind threshold %g", p.Knobs.WriteBehindThreshold)
 	case p.Knobs.DrainWorkers < 0 || p.Knobs.FetchBatch < 0 || p.Knobs.PipelineDepth < 0 ||
 		p.Knobs.WriteBehindQueue < 0 || p.Knobs.PrefetchSegments < 0 || p.Knobs.MaxCachedSegments < 0 ||
-		p.Knobs.CoresPerNode < 0:
+		p.Knobs.SieveBuffer < 0 || p.Knobs.CoresPerNode < 0:
 		return fmt.Errorf("conformance: negative tcio knob: %+v", p.Knobs)
 	case p.Knobs.Aggregators < 0 || p.Knobs.Aggregators > p.Procs:
 		return fmt.Errorf("conformance: %d aggregators with %d procs", p.Knobs.Aggregators, p.Procs)

@@ -39,6 +39,14 @@ const (
 	// last co-located origin's deposited runs when combining a segment's
 	// traffic into one put — that rank's bytes never reach the owner.
 	TCIONodeAggDropDeposit = "tcio.nodeagg-drop-deposit"
+	// StorageSieveScatterOffby makes the data-sieving scatter copy a run
+	// out of its covering read one byte late whenever the cover has room —
+	// the classic off-by-one a hand-rolled sieve buffer invites.
+	StorageSieveScatterOffby = "storage.sieve-scatter-offby"
+	// TCIOTwoPhaseDropIntent makes the two-phase collective read drop the
+	// highest-ranked origin's read intents from the exchange, so
+	// aggregators never stage the runs only that rank asked for.
+	TCIOTwoPhaseDropIntent = "tcio.twophase-drop-intent"
 )
 
 // All lists every mutant the gate must catch.
@@ -52,5 +60,7 @@ func All() []string {
 		MPIIOFlattenDropRun,
 		StorageDropLastRequest,
 		TCIONodeAggDropDeposit,
+		StorageSieveScatterOffby,
+		TCIOTwoPhaseDropIntent,
 	}
 }

@@ -29,6 +29,10 @@ type l2meta struct {
 	dirty     map[int64][]extent.Extent // global segment -> runs (segment-relative)
 	pending   map[int64][]extent.Extent // dirty runs not yet drained
 	populated map[int64]bool
+	// popRuns tracks partial population (the sieved read path): the
+	// segment-relative runs of a not-fully-populated segment whose window
+	// bytes are already valid. Fully populated segments have no entry.
+	popRuns map[int64][]extent.Extent
 	// arrival is, per segment, the latest virtual-time put arrival among
 	// its pending runs. The origin records it at issue time (it knows the
 	// handle's arrival); whoever drains the runs must not depart before it
@@ -107,6 +111,37 @@ func (m *l2meta) setPopulated(seg int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.populated[seg] = true
+	delete(m.popRuns, seg)
+}
+
+// missingRuns returns the segment-relative parts of needed whose window
+// bytes are not yet valid. Full population, earlier sieved runs, and dirty
+// runs (freshly written — newer than the file, so a sieve must never
+// overwrite them with file bytes) all count as present.
+func (m *l2meta) missingRuns(seg int64, needed []extent.Extent) []extent.Extent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.populated[seg] {
+		return nil
+	}
+	have := append(append([]extent.Extent(nil), m.popRuns[seg]...), m.dirty[seg]...)
+	return extent.Subtract(needed, have)
+}
+
+// addPopRuns records sieved (partial) population; once the recorded runs
+// cover the whole segment window it is promoted to fully populated, so
+// later fetches take the fast path.
+func (m *l2meta) addPopRuns(seg int64, runs []extent.Extent, segSize int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.populated[seg] {
+		return
+	}
+	m.popRuns[seg] = extent.Coalesce(append(m.popRuns[seg], runs...))
+	if extent.Covers(m.popRuns[seg], 0, segSize) {
+		m.populated[seg] = true
+		delete(m.popRuns, seg)
+	}
 }
 
 // locate applies the paper's equations (1)-(3) to a file offset.

@@ -86,7 +86,10 @@ func (f *File) ReadAt(off int64, dst []byte) error {
 			f.pendingDistinct++
 			f.pendingSeg = seg
 			if f.pendingDistinct > f.cfg.FetchBatch {
-				if err := f.Fetch(); err != nil {
+				// Always the independent path, even under CollectiveRead: a
+				// rank-local batch overflow cannot be a collective call —
+				// peers may be anywhere in their own compute.
+				if err := f.fetchIndependent(); err != nil {
 					return err
 				}
 				f.pendingDistinct = 1
@@ -101,34 +104,32 @@ func (f *File) ReadAt(off int64, dst []byte) error {
 	return nil
 }
 
-// Fetch completes all recorded lazy reads (tcio_fetch). It is independent:
-// only the calling rank participates. Gets for all queued segments are
-// issued asynchronously under concurrently held shared window locks — one
-// epoch per owner — so their wire times overlap instead of serializing.
+// Fetch completes all recorded lazy reads (tcio_fetch). By default it is
+// independent: only the calling rank participates. Under
+// Config.CollectiveRead it is instead the two-phase collective exchange of
+// collective.go — every rank of the read session must call it together.
 func (f *File) Fetch() error {
 	if f.closed {
 		return ErrClosed
 	}
+	if f.cfg.CollectiveRead && f.mode == ReadMode {
+		return f.fetchCollective()
+	}
+	return f.fetchIndependent()
+}
+
+// fetchIndependent is the rank-local fetch: gets for all queued segments
+// are issued asynchronously under concurrently held shared window locks —
+// one epoch per owner — so their wire times overlap instead of
+// serializing.
+func (f *File) fetchIndependent() error {
 	if len(f.pending) == 0 {
 		f.pendingSeg = -1
 		f.pendingDistinct = 0
 		f.runPostFetch()
 		return nil
 	}
-	// Group by segment (requests may span several when a single ReadAt
-	// crossed a boundary).
-	bySeg := make(map[int64][]readReq)
-	var order []int64
-	for _, r := range f.pending {
-		seg := f.globalSegment(r.off)
-		if _, ok := bySeg[seg]; !ok {
-			order = append(order, seg)
-		}
-		bySeg[seg] = append(bySeg[seg], r)
-	}
-	f.pending = f.pending[:0]
-	f.pendingSeg = -1
-	f.pendingDistinct = 0
+	bySeg, order := f.groupPending()
 
 	// Phase 1: make sure every needed segment is populated (only possible
 	// in demand mode; the default preloads at Open). Population needs the
@@ -136,7 +137,11 @@ func (f *File) Fetch() error {
 	// current segment (from the cache when it was staged in time), then
 	// pushes the background lane ahead over the batch's forward-consecutive
 	// successors — after the current segment's read, so the rank's file
-	// system request order is exactly the demand loop's.
+	// system request order is exactly the demand loop's. With the sieve
+	// armed, only the runs the queued reads need are staged (sieve.go)
+	// instead of the whole segment; a staged prefetch still wins — its
+	// whole-segment read already happened, so sieving after it would only
+	// re-read bytes the cache holds.
 	for i, seg := range order {
 		if f.meta.isPopulated(seg) {
 			f.dropWastedPrefetch(seg)
@@ -150,6 +155,8 @@ func (f *File) Fetch() error {
 			var perr error
 			if e, ok := f.takePrefetched(seg); ok {
 				perr = f.populateFromCache(seg, owner, slot, e)
+			} else if f.sieveArmed() {
+				perr = f.sievePopulate(seg, owner, slot, segmentRuns(bySeg[seg], f.segSize))
 			} else {
 				perr = f.populate(seg, owner, slot)
 			}
@@ -167,10 +174,37 @@ func (f *File) Fetch() error {
 			return err
 		}
 	}
+	return f.fetchGets(order, bySeg)
+}
 
-	// Phase 2: shared-lock each owner once, issue every segment's get
-	// asynchronously, then unlock — Unlock synchronizes with the epoch's
-	// transfers, so the waits overlap across owners and segments.
+// groupPending groups the queued lazy reads by global segment, in first-
+// appearance order (requests may span several segments when a single
+// ReadAt crossed a boundary), and resets the queue.
+func (f *File) groupPending() (map[int64][]readReq, []int64) {
+	bySeg := make(map[int64][]readReq)
+	var order []int64
+	for _, r := range f.pending {
+		seg := f.globalSegment(r.off)
+		if _, ok := bySeg[seg]; !ok {
+			order = append(order, seg)
+		}
+		bySeg[seg] = append(bySeg[seg], r)
+	}
+	f.pending = f.pending[:0]
+	f.pendingSeg = -1
+	f.pendingDistinct = 0
+	return bySeg, order
+}
+
+// fetchGets is the data-movement phase shared by the independent and
+// collective fetch paths: shared-lock each owner once, issue every
+// segment's get asynchronously, then unlock — Unlock synchronizes with the
+// epoch's transfers, so the waits overlap across owners and segments.
+func (f *File) fetchGets(order []int64, bySeg map[int64][]readReq) error {
+	if len(order) == 0 {
+		f.runPostFetch()
+		return nil
+	}
 	type pendingGet struct {
 		handle *mpi.GetHandle
 		reqs   []readReq

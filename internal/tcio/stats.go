@@ -43,6 +43,17 @@ type Stats struct {
 	// demand path would not have issued (see DESIGN.md §2b).
 	PrefetchWasted int64
 
+	// Noncontiguous read engine (Config.SieveBuffer / CollectiveRead).
+	// SieveReads counts covering reads issued by the data sieve; each
+	// replaces one or more per-run demand reads. SieveWasteBytes counts
+	// hole bytes those covers moved without delivering — the price of the
+	// request reduction. TwoPhaseExchanges counts the read-intent exchange
+	// rounds of the two-phase collective read (one per collective Fetch,
+	// including the one inside Close).
+	SieveReads        int64
+	SieveWasteBytes   int64
+	TwoPhaseExchanges int64
+
 	// Node aggregation (Config.NodeAggregation).
 	NodeCombines int64 // combined puts this rank issued as a node leader
 	// InterNodePutsSaved counts the inter-node one-sided puts the combine

@@ -150,6 +150,31 @@ type Config struct {
 	// evict the very segments the lookahead just staged, turning every
 	// prefetch into a wasted duplicate read.
 	MaxCachedSegments int
+	// SieveBuffer arms data sieving on the demand-populate read path: with
+	// DemandPopulate set, Fetch stages only the runs the queued reads
+	// actually need instead of whole level-2 segments, grouping nearby runs
+	// under covering file system reads of at most SieveBuffer bytes each
+	// (ROMIO's data sieving; the covers are what the storage layer issues,
+	// so retry/trace/virtual-time handling and chaos fault rolls key on
+	// them). A buffer too small to join two runs degenerates to list I/O:
+	// one read per needed run. 0 disables sieving (the default): demand
+	// population reads whole segments, bit-identical to the path before the
+	// knob existed. Ignored without DemandPopulate (preload already reads
+	// every byte once). See DESIGN.md §2d.
+	SieveBuffer int64
+	// CollectiveRead turns explicit Fetch calls into an OCIO-style
+	// two-phase collective read: all ranks must call Fetch (and Close)
+	// together; they exchange read intents, each rank stages the union of
+	// all intents falling in its own segments — through the sieve when
+	// SieveBuffer > 0, as whole-segment populations otherwise — with one
+	// local window write instead of remote exclusive-lock traffic, and a
+	// barrier publishes the windows before the usual overlapped gets
+	// redistribute the runs. Implicit fetches (a ReadAt overflowing
+	// FetchBatch) stay independent — a rank-local event cannot be
+	// collective. Off (the default) keeps today's independent fetch path
+	// bit-identical, including its fault rolls — the same discipline as
+	// NodeAggregation. See DESIGN.md §2d.
+	CollectiveRead bool
 	// NodeAggregation inserts an intra-node aggregation tier between the
 	// level-1 flush and the level-2 one-sided ship: co-located ranks hand
 	// their dirty runs to a deterministic per-segment node leader over the
@@ -324,6 +349,9 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if cfg.MaxCachedSegments < cfg.PrefetchSegments {
 		cfg.MaxCachedSegments = cfg.PrefetchSegments
 	}
+	if cfg.SieveBuffer < 0 {
+		return nil, fmt.Errorf("tcio: sieve buffer %d", cfg.SieveBuffer)
+	}
 	retry := faults.DefaultRetryPolicy()
 	if cfg.Retry != nil {
 		retry = *cfg.Retry
@@ -355,6 +383,7 @@ func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 				dirty:     make(map[int64][]extent.Extent),
 				pending:   make(map[int64][]extent.Extent),
 				populated: make(map[int64]bool),
+				popRuns:   make(map[int64][]extent.Extent),
 				arrival:   make(map[int64]simtime.Time),
 			},
 			agg: newAggStaging(),

@@ -30,6 +30,7 @@ const (
 	KindRetry    Kind = "retry"    // transient fault absorbed by backoff
 	KindPrefetch Kind = "prefetch" // segment read ahead on the background lane
 	KindCombine  Kind = "combine"  // node leader merged co-located ranks' runs into one put
+	KindSieve    Kind = "sieve"    // covering read of a data-sieving group
 )
 
 // Event is one recorded operation.
