@@ -14,6 +14,8 @@
 //	tciobench -nodeagg -chaos    # node aggregation under faults (counts-only table)
 //	tciobench -sieve             # noncontiguous read engine sweep (sieve budget x holes x granule)
 //	tciobench -sieve -chaos      # sieved reads under faults (counts-only table)
+//	tciobench -delegate          # I/O delegation sweep (servers x files x request size)
+//	tciobench -delegate -chaos   # delegation under faults (counts-only table)
 //	tciobench -overlap -json results/BENCH_pr3.json   # machine-readable results
 //	tciobench -conform -seed 1 -progs 64   # randomized differential conformance sweep
 //	tciobench -all               # everything
@@ -49,6 +51,7 @@ func main() {
 		overlap   = flag.Bool("overlap", false, "sweep write-behind and read-prefetch overlap settings")
 		nodeagg   = flag.Bool("nodeagg", false, "sweep intra-node aggregation (cores/node x segment size)")
 		sieve     = flag.Bool("sieve", false, "sweep the noncontiguous read engine (sieve budget x hole density x interleave granule)")
+		delegate  = flag.Bool("delegate", false, "sweep the I/O delegation tier (server ranks x open files x request size)")
 		jsonPath  = flag.String("json", "", "also write -overlap results as JSON to this path")
 		all       = flag.Bool("all", false, "run everything")
 		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
@@ -77,21 +80,23 @@ func main() {
 		}
 		return
 	}
-	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*nodeagg && !*sieve && !*all {
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*nodeagg && !*sieve && !*delegate && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// "-overlap -chaos" / "-nodeagg -chaos" / "-sieve -chaos" (without -all)
-	// mean the feature's chaos table alone, not the regular chaos sweep plus
-	// a clean feature sweep.
+	// "-overlap -chaos" / "-nodeagg -chaos" / "-sieve -chaos" /
+	// "-delegate -chaos" (without -all) mean the feature's chaos table
+	// alone, not the regular chaos sweep plus a clean feature sweep.
 	overlapChaos := *overlap && *chaos && !*all
 	nodeaggChaos := *nodeagg && *chaos && !*all
 	sieveChaos := *sieve && *chaos && !*all
+	delegateChaos := *delegate && *chaos && !*all
 	if err := run(*fig5 || *all, *fig6 || *all, *fig7 || *all, *tables || *all,
-		*ablations || *all, (*chaos || *all) && !overlapChaos && !nodeaggChaos && !sieveChaos, *dsweep || *all,
+		*ablations || *all, (*chaos || *all) && !overlapChaos && !nodeaggChaos && !sieveChaos && !delegateChaos, *dsweep || *all,
 		(*overlap || *all) && !overlapChaos, overlapChaos,
 		(*nodeagg || *all) && !nodeaggChaos, nodeaggChaos,
-		(*sieve || *all) && !sieveChaos, sieveChaos, *jsonPath, *procs, *lenSim, *lenReal,
+		(*sieve || *all) && !sieveChaos, sieveChaos,
+		(*delegate || *all) && !delegateChaos, delegateChaos, *jsonPath, *procs, *lenSim, *lenReal,
 		*seed, *rates, *cprocs, *dworkers, *verify, *csv, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tciobench:", err)
 		os.Exit(1)
@@ -99,7 +104,7 @@ func main() {
 }
 
 func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overlapChaos,
-	nodeagg, nodeaggChaos, sieve, sieveChaos bool,
+	nodeagg, nodeaggChaos, sieve, sieveChaos, delegate, delegateChaos bool,
 	jsonPath, procsSpec string, lenSim, lenReal int, seed int64, ratesSpec string,
 	chaosProcs, drainWorkers int, verify, csv, quiet bool) error {
 	emit := func(t stats.Table) error {
@@ -330,6 +335,42 @@ func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overla
 				return err
 			}
 			if err := emit(inter); err != nil {
+				return err
+			}
+			if jsonPath != "" {
+				blob, err := json.MarshalIndent(report, "", "  ")
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+					return err
+				}
+				if !quiet {
+					fmt.Fprintln(os.Stderr, "  ", "wrote", jsonPath)
+				}
+			}
+		}
+	}
+
+	if delegate || delegateChaos {
+		dlopts := bench.DefaultDelegate()
+		dlopts.Verify = verify
+		dlopts.Progress = progress
+		if delegateChaos {
+			t, err := bench.DelegateChaos(dlopts, seed)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+		if delegate {
+			t, report, err := bench.Delegate(dlopts)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
 				return err
 			}
 			if jsonPath != "" {

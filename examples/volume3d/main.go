@@ -94,7 +94,10 @@ func main() {
 
 				switch method {
 				case "OCIO":
-					f := mpiio.Open(c, name)
+					f, err := mpiio.Open(c, name)
+					if err != nil {
+						return err
+					}
 					// One subarray datatype describes this rank's cube
 					// within the global volume.
 					ft, err := datatype.Subarray(

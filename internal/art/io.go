@@ -249,7 +249,11 @@ func openBackend(c *mpi.Comm, lib Library, name string, mode tcio.Mode, segSize,
 		}
 		return tcioBackend{f}, nil
 	case LibVanilla:
-		return vanillaBackend{mpiio.Open(c, name)}, nil
+		f, err := mpiio.Open(c, name)
+		if err != nil {
+			return nil, err
+		}
+		return vanillaBackend{f}, nil
 	default:
 		return nil, fmt.Errorf("art: unknown library %d", int(lib))
 	}

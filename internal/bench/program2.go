@@ -36,7 +36,10 @@ func Program2Write(c *mpi.Comm, cfg SyntheticConfig, arrays [][]byte) error {
 	}
 	chargePieces(c, iters*len(arrays))
 	// 3. Open file.
-	handle := mpiio.Open(c, cfg.FileName)
+	handle, err := mpiio.Open(c, cfg.FileName)
+	if err != nil {
+		return err
+	}
 	// BEGIN EXTENSION (not part of the paper's Program 2; excluded from LoC)
 	if cfg.OCIOAggregators > 0 {
 		if err := handle.SetAggregators(cfg.OCIOAggregators); err != nil {
@@ -85,7 +88,10 @@ func Program2Read(c *mpi.Comm, cfg SyntheticConfig, arrays [][]byte) error {
 	// BEGIN PROGRAM 2 READ
 	blockSize := cfg.blockSize()
 	iters := cfg.iters()
-	handle := mpiio.Open(c, cfg.FileName)
+	handle, err := mpiio.Open(c, cfg.FileName)
+	if err != nil {
+		return err
+	}
 	// BEGIN EXTENSION (not part of the paper's Program 2; excluded from LoC)
 	if cfg.OCIOAggregators > 0 {
 		if err := handle.SetAggregators(cfg.OCIOAggregators); err != nil {

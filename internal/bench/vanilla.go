@@ -13,7 +13,10 @@ import (
 // VanillaWrite writes the interleaved workload with independent MPI-IO.
 func VanillaWrite(c *mpi.Comm, cfg SyntheticConfig, arrays [][]byte) error {
 	blockSize := cfg.blockSize()
-	handle := mpiio.Open(c, cfg.FileName)
+	handle, err := mpiio.Open(c, cfg.FileName)
+	if err != nil {
+		return err
+	}
 	for i := 0; i < cfg.iters(); i++ {
 		pos := int64(c.Rank())*blockSize + int64(i)*blockSize*int64(c.Size())
 		for j := range arrays {
@@ -32,7 +35,10 @@ func VanillaWrite(c *mpi.Comm, cfg SyntheticConfig, arrays [][]byte) error {
 // VanillaRead reads the workload back with independent MPI-IO.
 func VanillaRead(c *mpi.Comm, cfg SyntheticConfig, arrays [][]byte) error {
 	blockSize := cfg.blockSize()
-	handle := mpiio.Open(c, cfg.FileName)
+	handle, err := mpiio.Open(c, cfg.FileName)
+	if err != nil {
+		return err
+	}
 	for i := 0; i < cfg.iters(); i++ {
 		pos := int64(c.Rank())*blockSize + int64(i)*blockSize*int64(c.Size())
 		for j := range arrays {

@@ -13,6 +13,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/tcio/tcio/internal/faults"
@@ -104,6 +105,48 @@ func (m Machine) NodeLeader(node, nprocs int, key int64) int {
 		return lo
 	}
 	return lo + int(((key%int64(n))+int64(n))%int64(n))
+}
+
+// SpreadServers picks which ranks of an nprocs-rank job become dedicated
+// I/O delegation servers, spreading them across the job's nodes so server
+// traffic does not concentrate on one node's link. Server j prefers the
+// highest still-unused rank of node j*nodes/servers (the top of a node is
+// the rank least likely to lead node-local collectives), falling back to
+// the highest unused rank anywhere when that node is exhausted. The result
+// is sorted ascending; rank 0 is never chosen while any other rank is
+// free, so the job keeps a conventional root. The election is a pure
+// function of (placement, counts): every rank computes the same set
+// without communicating.
+func (m Machine) SpreadServers(nprocs, servers int) []int {
+	if servers <= 0 || servers >= nprocs {
+		return nil
+	}
+	nodes := m.NodesFor(nprocs)
+	used := make(map[int]bool, servers)
+	picks := make([]int, 0, servers)
+	for j := 0; j < servers; j++ {
+		node := j * nodes / servers
+		lo, hi := m.NodeRankRange(node, nprocs)
+		pick := -1
+		for r := hi - 1; r >= lo; r-- {
+			if !used[r] && r != 0 {
+				pick = r
+				break
+			}
+		}
+		if pick < 0 {
+			for r := nprocs - 1; r > 0; r-- {
+				if !used[r] {
+					pick = r
+					break
+				}
+			}
+		}
+		used[pick] = true
+		picks = append(picks, pick)
+	}
+	sort.Ints(picks)
+	return picks
 }
 
 // ErrOutOfMemory is returned (wrapped) when a simulated allocation exceeds a

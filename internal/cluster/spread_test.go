@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSpreadServers(t *testing.T) {
+	m := Machine{Nodes: 8, CoresPerNode: 4}
+	cases := []struct {
+		name            string
+		nprocs, servers int
+		want            []int
+	}{
+		{"none", 8, 0, nil},
+		{"all-servers degenerates", 4, 4, nil},
+		{"one server tops node 0", 8, 1, []int{3}},
+		{"two servers two nodes", 8, 2, []int{3, 7}},
+		{"four servers four nodes", 16, 4, []int{3, 7, 11, 15}},
+		// More servers than nodes: node 0 hosts two, taking its top two ranks.
+		{"servers share a node", 4, 2, []int{2, 3}},
+		// Single-rank nodes with every non-root rank needed: fallback fills
+		// from the highest free rank, never electing rank 0.
+		{"fallback spares rank zero", 3, 2, []int{1, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := m.SpreadServers(tc.nprocs, tc.servers)
+			if len(got) != len(tc.want) {
+				t.Fatalf("SpreadServers(%d, %d) = %v, want %v", tc.nprocs, tc.servers, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("SpreadServers(%d, %d) = %v, want %v", tc.nprocs, tc.servers, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestSpreadServersProperty checks the invariants every placement must
+// hold: sorted, unique, in range, rank 0 spared, and node coverage at
+// least min(servers, job nodes) so server traffic spreads across links.
+func TestSpreadServersProperty(t *testing.T) {
+	m := Machine{Nodes: 64, CoresPerNode: 12}
+	for nprocs := 2; nprocs <= 96; nprocs += 7 {
+		for servers := 1; servers < nprocs; servers++ {
+			got := m.SpreadServers(nprocs, servers)
+			if len(got) != servers {
+				t.Fatalf("nprocs=%d servers=%d: %d picks", nprocs, servers, len(got))
+			}
+			if !sort.IntsAreSorted(got) {
+				t.Fatalf("nprocs=%d servers=%d: unsorted %v", nprocs, servers, got)
+			}
+			seen := map[int]bool{}
+			nodes := map[int]bool{}
+			for _, r := range got {
+				if r <= 0 || r >= nprocs {
+					t.Fatalf("nprocs=%d servers=%d: rank %d out of range", nprocs, servers, r)
+				}
+				if seen[r] {
+					t.Fatalf("nprocs=%d servers=%d: duplicate rank %d", nprocs, servers, r)
+				}
+				seen[r] = true
+				nodes[m.NodeOf(r)] = true
+			}
+			jobNodes := m.NodesFor(nprocs)
+			wantNodes := servers
+			if jobNodes < wantNodes {
+				wantNodes = jobNodes
+			}
+			// Sparing rank 0 can fold one server back onto another node.
+			if len(nodes) < wantNodes-1 {
+				t.Fatalf("nprocs=%d servers=%d: only %d nodes covered, want >=%d (%v)",
+					nprocs, servers, len(nodes), wantNodes-1, got)
+			}
+		}
+	}
+}

@@ -73,7 +73,12 @@ func Check(p *Program) *Outcome {
 	}
 	o.checkTCIOStats(p, tc)
 	o.checkTrace(tc)
-	o.Summary = p.summarize(tc, oc, va, len(o.Divergences))
+	var dl *delegateRun
+	if p.Knobs.Files > 0 {
+		dl = runDelegate(p, truth)
+		o.checkDelegate(p, dl, truth)
+	}
+	o.Summary = p.summarize(tc, oc, va, dl, len(o.Divergences))
 	return o
 }
 
@@ -281,11 +286,11 @@ func (o *Outcome) checkTrace(run *engineRun) {
 }
 
 // summarize renders the deterministic one-line fingerprint of the run.
-func (p *Program) summarize(tc, oc, va *engineRun, nDiv int) string {
+func (p *Program) summarize(tc, oc, va *engineRun, dl *delegateRun, nDiv int) string {
 	var b strings.Builder
 	writes, reads := p.Ops()
 	fmt.Fprintf(&b, "seed=%d class=%d P=%d seg=%dx%d file=%d stripe=%dx%d wops=%d rops=%d truth=%.12s",
-		p.Seed, int(((p.Seed%6)+6)%6), p.Procs, p.SegmentSize, p.NumSegments,
+		p.Seed, int(((p.Seed%7)+7)%7), p.Procs, p.SegmentSize, p.NumSegments,
 		p.FileBytes, p.StripeSize, p.StripeCount, writes, reads, p.TruthSHA())
 
 	var pops, fsw int64
@@ -327,6 +332,21 @@ func (p *Program) summarize(tc, oc, va *engineRun, nDiv int) string {
 		}
 		fmt.Fprintf(&b, " sieve[buf=%d coll=%v xch=%d]",
 			p.Knobs.SieveBuffer, p.Knobs.CollectiveRead, xch)
+	}
+	if dl != nil {
+		// Staged-record and batched-run totals are sorted-epoch quantities
+		// (DESIGN.md §2e): deterministic despite racy request arrival.
+		var staged, runs int64
+		for _, s := range dl.servers {
+			staged += s.StagedWrites
+			runs += s.BatchedRuns
+		}
+		mark := ""
+		if dl.err != "" {
+			mark = " err"
+		}
+		fmt.Fprintf(&b, " del[srv=%d files=%d q=%d staged=%d runs=%d fs=%d%s]",
+			p.Knobs.ServerRanks, p.Knobs.Files, p.Knobs.QueueDepth, staged, runs, dl.fsWrites, mark)
 	}
 	fmt.Fprintf(&b, " ocio[ret=%d inj=%s%s] van[ret=%d inj=%s%s]",
 		oc.retries, orDash(oc.injected), phaseMark(oc),

@@ -1,0 +1,303 @@
+package conformance
+
+// The delegation-tier engine driver (knob class 6): the program replayed
+// through internal/delegate, with Files concurrently open files per
+// client. Every file sees the same ops, but payload bytes are XORed with
+// a per-file constant, so any cross-file bleed — shared staging, a
+// misrouted domain piece, pooled counters — shows up as a byte or
+// counter divergence against that file's own truth. ServerRanks == 0
+// routes the same program through the tier's pass-through path, keeping
+// the off switch inside the differential harness too.
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/tcio/tcio/internal/delegate"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/tcio"
+	"github.com/tcio/tcio/internal/trace"
+)
+
+// fileConst is the XOR mask distinguishing file fi's payload stream.
+func fileConst(fi int) byte { return byte(fi * 0x5B) }
+
+// fileTruth derives file fi's ground truth: the base truth with every
+// written byte XORed by the file constant. Unwritten bytes stay zero in
+// every file, so the mask is applied through the coverage map, not to
+// the whole image.
+func (p *Program) fileTruth(truth []byte, fi int) []byte {
+	if fileConst(fi) == 0 {
+		return truth
+	}
+	out := append([]byte(nil), truth...)
+	for i, id := range p.CoverIDs() {
+		if id >= 0 {
+			out[i] ^= fileConst(fi)
+		}
+	}
+	return out
+}
+
+// delegateName is the shared file name for file index fi.
+func delegateName(fi int) string { return fmt.Sprintf("conform-del-%d.dat", fi) }
+
+// delegateRun is the delegation engine's observable outcome.
+type delegateRun struct {
+	err      string   // first failing phase ("" = clean)
+	images   [][]byte // per-file bytes after the write phase
+	fsWrites int64    // file system write requests after the write phase
+
+	// w and r are the per-file, per-client protocol counters of the write
+	// and read phases; passW holds the pass-through tcio ledgers instead
+	// when ServerRanks == 0.
+	w, r  [][]delegate.Stats
+	passW [][]tcio.Stats
+	// servers is the write phase's per-server counters (delegation only).
+	servers []delegate.ServerStats
+}
+
+func statsGrid(files, clients int) [][]delegate.Stats {
+	g := make([][]delegate.Stats, files)
+	for i := range g {
+		g[i] = make([]delegate.Stats, clients)
+	}
+	return g
+}
+
+// runDelegate executes the program through the delegation tier.
+func runDelegate(p *Program, truth []byte) *delegateRun {
+	out := &delegateRun{}
+	k := p.Knobs
+	clients := p.Clients()
+	truths := make([][]byte, k.Files)
+	for fi := range truths {
+		truths[fi] = p.fileTruth(truth, fi)
+	}
+	inj := p.newInjector()
+	fs := p.newFS(inj)
+	dcfg := delegate.Config{
+		ServerRanks: k.ServerRanks,
+		QueueDepth:  k.QueueDepth,
+		TCIO:        p.tcioConfig(trace.New(0)),
+	}
+
+	out.w = statsGrid(k.Files, clients)
+	out.passW = make([][]tcio.Stats, k.Files)
+	for fi := range out.passW {
+		out.passW[fi] = make([]tcio.Stats, clients)
+	}
+	col := &delegate.Collector{}
+	wcfg := dcfg
+	wcfg.Collect = col
+	var mu sync.Mutex
+	_, err := mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+		return delegate.Run(c, wcfg, func(tr *delegate.Tier) error {
+			files := make([]*delegate.File, k.Files)
+			for fi := range files {
+				f, err := tr.Open(delegateName(fi), tcio.WriteMode)
+				if err != nil {
+					return err
+				}
+				files[fi] = f
+			}
+			for _, round := range p.WriteRounds {
+				for _, op := range round.Ops {
+					if op.Rank != tr.ClientIndex() {
+						continue
+					}
+					payload := p.Payload(op)
+					for fi, f := range files {
+						buf := payload
+						if m := fileConst(fi); m != 0 {
+							buf = append([]byte(nil), payload...)
+							for i := range buf {
+								buf[i] ^= m
+							}
+						}
+						if err := f.WriteAt(op.Off, buf); err != nil {
+							return err
+						}
+					}
+				}
+				for _, f := range files {
+					if err := f.Flush(); err != nil {
+						return err
+					}
+				}
+			}
+			for fi, f := range files {
+				if err := f.Close(); err != nil {
+					return err
+				}
+				mu.Lock()
+				out.w[fi][tr.ClientIndex()] = f.Stats()
+				if !tr.IsDelegated() {
+					out.passW[fi][tr.ClientIndex()] = f.TCIO().Stats()
+				}
+				mu.Unlock()
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		out.err = err.Error()
+		return out
+	}
+	out.servers = col.Servers()
+	out.fsWrites = fs.Stats().Writes
+	out.images = make([][]byte, k.Files)
+	for fi := range out.images {
+		out.images[fi] = fs.Open(delegateName(fi)).Snapshot()
+	}
+
+	out.r = statsGrid(k.Files, clients)
+	_, err = mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
+		return delegate.Run(c, dcfg, func(tr *delegate.Tier) error {
+			files := make([]*delegate.File, k.Files)
+			for fi := range files {
+				f, err := tr.Open(delegateName(fi), tcio.ReadMode)
+				if err != nil {
+					return err
+				}
+				files[fi] = f
+			}
+			type fileCapture struct {
+				fi  int
+				cap readCapture
+			}
+			var caps []fileCapture
+			for _, round := range p.ReadRounds {
+				for _, op := range round.Ops {
+					if op.Rank != tr.ClientIndex() {
+						continue
+					}
+					for fi, f := range files {
+						dst := make([]byte, op.Len)
+						if err := f.ReadAt(op.Off, dst); err != nil {
+							return err
+						}
+						caps = append(caps, fileCapture{fi: fi, cap: readCapture{op: op, got: dst}})
+					}
+				}
+				// Materialize the round's lazy reads in pass-through mode
+				// (delegation reads were synchronous; Fetch is a no-op).
+				for _, f := range files {
+					if err := f.Fetch(); err != nil {
+						return err
+					}
+				}
+			}
+			for fi, f := range files {
+				if err := f.Close(); err != nil {
+					return err
+				}
+				mu.Lock()
+				out.r[fi][tr.ClientIndex()] = f.Stats()
+				mu.Unlock()
+			}
+			for _, fc := range caps {
+				if err := verifyCaptures(truths[fc.fi], []readCapture{fc.cap}); err != nil {
+					return fmt.Errorf("file %d: %w", fc.fi, err)
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		out.err = err.Error()
+	}
+	return out
+}
+
+// checkDelegate applies the delegation-tier oracles: per-file images,
+// per-file per-client call counters, flush-epoch structure, and the
+// server-side conservation laws.
+func (o *Outcome) checkDelegate(p *Program, dl *delegateRun, truth []byte) {
+	if dl.err != "" {
+		o.diverge("delegate", "error", "%s", dl.err)
+		return
+	}
+	for fi, img := range dl.images {
+		want := p.fileTruth(truth, fi)
+		n := int64(len(want))
+		if int64(len(img)) > n {
+			n = int64(len(img))
+		}
+		for i := int64(0); i < n; i++ {
+			var got, exp byte
+			if i < int64(len(img)) {
+				got = img[i]
+			}
+			if i < int64(len(want)) {
+				exp = want[i]
+			}
+			if got != exp {
+				o.diverge("delegate", "image", "file %d byte %d = %#x, truth %#x", fi, i, got, exp)
+				break
+			}
+		}
+	}
+	clients := p.Clients()
+	var reqSum int64
+	for fi := 0; fi < p.Knobs.Files; fi++ {
+		for cl := 0; cl < clients; cl++ {
+			ws, rs := dl.w[fi][cl], dl.r[fi][cl]
+			if wantN, wantBytes := countOps(p.WriteRounds, cl); ws.Writes != wantN || ws.WriteBytes != wantBytes {
+				o.diverge("delegate", "stats", "file %d client %d counted %d writes/%d bytes, program has %d/%d",
+					fi, cl, ws.Writes, ws.WriteBytes, wantN, wantBytes)
+			}
+			if wantN, wantBytes := countOps(p.ReadRounds, cl); rs.Reads != wantN || rs.ReadBytes != wantBytes {
+				o.diverge("delegate", "stats", "file %d client %d counted %d reads/%d bytes, program has %d/%d",
+					fi, cl, rs.Reads, rs.ReadBytes, wantN, wantBytes)
+			}
+			if p.Knobs.ServerRanks > 0 {
+				if want := int64(len(p.WriteRounds)) + 1; ws.Flushes != want {
+					o.diverge("delegate", "stats", "file %d client %d flushed %d epochs, want %d (rounds+close)",
+						fi, cl, ws.Flushes, want)
+				}
+				reqSum += ws.WriteReqs
+			} else {
+				s := dl.passW[fi][cl]
+				if s.EagerWrites+s.FlushResidue != s.FSWrites {
+					o.diverge("delegate", "stats", "file %d rank %d pass-through ledger: EagerWrites %d + FlushResidue %d != FSWrites %d",
+						fi, cl, s.EagerWrites, s.FlushResidue, s.FSWrites)
+				}
+			}
+		}
+	}
+	if p.Knobs.ServerRanks == 0 {
+		var fsSum int64
+		for fi := range dl.passW {
+			for _, s := range dl.passW[fi] {
+				fsSum += s.FSWrites
+			}
+		}
+		if fsSum != dl.fsWrites {
+			o.diverge("delegate", "stats", "pass-through ranks report %d FSWrites, file system served %d",
+				fsSum, dl.fsWrites)
+		}
+		return
+	}
+	if len(dl.servers) != p.Knobs.ServerRanks {
+		o.diverge("delegate", "stats", "%d server reports, want %d", len(dl.servers), p.Knobs.ServerRanks)
+		return
+	}
+	var staged, fsSum int64
+	for _, s := range dl.servers {
+		staged += s.StagedWrites
+		fsSum += s.FSWrites
+		// Every server closes one epoch per file per collective flush —
+		// each write round's Flush plus Close's — even when it owns no
+		// dirty domain blocks for that file.
+		if want := int64(p.Knobs.Files) * int64(len(p.WriteRounds)+1); s.Epochs != want {
+			o.diverge("delegate", "stats", "server %d closed %d epochs, want %d", s.Rank, s.Epochs, want)
+		}
+	}
+	if staged != reqSum {
+		o.diverge("delegate", "stats", "servers staged %d write records, clients sent %d", staged, reqSum)
+	}
+	if fsSum != dl.fsWrites {
+		o.diverge("delegate", "stats", "servers report %d FSWrites, file system served %d", fsSum, dl.fsWrites)
+	}
+}

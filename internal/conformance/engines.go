@@ -34,8 +34,8 @@ type engineRun struct {
 
 	image    []byte // file bytes after the write phase (dense, Size long)
 	fileSize int64
-	fsWrites int64 // file system write-request count after the write phase
-	retries  int64 // transient faults absorbed, both phases
+	fsWrites int64  // file system write-request count after the write phase
+	retries  int64  // transient faults absorbed, both phases
 	injected string // injector CountsString after both phases ("" = none)
 
 	// tcio only.
@@ -273,7 +273,10 @@ func runVanilla(p *Program, truth []byte) *engineRun {
 
 	var mu sync.Mutex
 	_, err := mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
-		f := mpiio.Open(c, confFile)
+		f, err := mpiio.Open(c, confFile)
+		if err != nil {
+			return err
+		}
 		f.SetSieving(p.Knobs.Sieving)
 		var opErr error
 		for _, round := range p.WriteRounds {
@@ -305,7 +308,10 @@ func runVanilla(p *Program, truth []byte) *engineRun {
 	out.snapshotWritePhase(fs)
 
 	_, err = mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
-		f := mpiio.Open(c, confFile)
+		f, err := mpiio.Open(c, confFile)
+		if err != nil {
+			return err
+		}
 		f.SetSieving(p.Knobs.Sieving)
 		var caps []readCapture
 		for _, round := range p.ReadRounds {
@@ -460,7 +466,10 @@ func runOCIO(p *Program, truth []byte) *engineRun {
 
 	var mu sync.Mutex
 	_, err := mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
-		f := mpiio.Open(c, confFile)
+		f, err := mpiio.Open(c, confFile)
+		if err != nil {
+			return err
+		}
 		if err := f.SetAggregators(p.aggregators()); err != nil {
 			return err
 		}
@@ -490,7 +499,10 @@ func runOCIO(p *Program, truth []byte) *engineRun {
 	out.snapshotWritePhase(fs)
 
 	_, err = mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
-		f := mpiio.Open(c, confFile)
+		f, err := mpiio.Open(c, confFile)
+		if err != nil {
+			return err
+		}
 		if err := f.SetAggregators(p.aggregators()); err != nil {
 			return err
 		}

@@ -2,7 +2,7 @@ package conformance
 
 // The seed-deterministic program generator. One seed fixes everything:
 // geometry, knobs, chaos rules, and every op of every round. Seeds cycle
-// through six knob classes so any contiguous seed sweep exercises every
+// through seven knob classes so any contiguous seed sweep exercises every
 // engine feature (and gives every mutant of the smoke gate something to
 // bite on) within a small budget:
 //
@@ -17,6 +17,9 @@ package conformance
 //	class 5 — noncontiguous read engine: read-heavy interleaved rounds
 //	          with holes, sweeping the sieve budget (list I/O through
 //	          whole-segment covers) and the two-phase collective read.
+//	class 6 — delegation tier: dedicated server ranks carved out of the
+//	          communicator, several concurrently open files per client,
+//	          credit-window admission. Ops span only the client ranks.
 //
 // Cross-rank write disjointness is enforced by construction: bytes are
 // dealt to ranks block-cyclically over a random granule, and every write
@@ -29,7 +32,7 @@ import "math/rand"
 // the identical program (Go's math/rand generators are stable).
 func Generate(seed int64) *Program {
 	rng := rand.New(rand.NewSource(seed))
-	class := int(((seed % 6) + 6) % 6)
+	class := int(((seed % 7) + 7) % 7)
 
 	p := &Program{Seed: seed, Procs: 2 + rng.Intn(4)}
 	if class == 0 && rng.Intn(5) == 0 {
@@ -49,6 +52,9 @@ func Generate(seed int64) *Program {
 		// over-subscribed draw would fail Validate (the engine driver only
 		// clamps at run time).
 		p.Knobs.Aggregators = p.Procs
+	}
+	if p.Knobs.ServerRanks >= p.Procs {
+		p.Knobs.ServerRanks = p.Procs - 1 // at least one client remains
 	}
 
 	territory := genTerritory(rng, class, p)
@@ -123,11 +129,23 @@ func genKnobs(rng *rand.Rand, class int, seed, segSize int64) Knobs {
 		if rng.Intn(8) == 0 {
 			k.SieveBuffer = 0
 		}
-		k.CollectiveRead = rng.Intn(3) > 0
+		// Lean toward the independent sieve path: it has the most machinery
+		// (cover assembly, scatter, waste accounting) for mutants to bite.
+		k.CollectiveRead = rng.Intn(3) == 0
 		if !k.CollectiveRead && rng.Intn(3) == 0 {
 			// Prefetch/sieve interplay — only on the independent path, where
 			// the lookahead runs.
 			k.PrefetchSegments = 1 + rng.Intn(2)
+		}
+	case 6: // delegation tier (multi-file, server ranks carved from Procs)
+		k.ServerRanks = 1 + rng.Intn(2)
+		if rng.Intn(5) == 0 {
+			k.ServerRanks = 0 // the pass-through contract stays in rotation
+		}
+		k.Files = 1 + rng.Intn(3)
+		k.QueueDepth = []int{1, 2, 8}[rng.Intn(3)]
+		if rng.Intn(3) == 0 {
+			k.DemandPopulate = true // pass-through read-path variety
 		}
 	}
 	return k
@@ -140,17 +158,21 @@ func genKnobs(rng *rand.Rand, class int, seed, segSize int64) Knobs {
 // cross-rank interleaving within segments that stresses the one-sided
 // paths. Returns each rank's territory as maximal contiguous runs.
 func genTerritory(rng *rand.Rand, class int, p *Program) [][]Op {
+	// Bytes are dealt over the client ranks only — in class 6 the trailing
+	// ServerRanks ranks serve and own no territory (elsewhere Clients() is
+	// just Procs).
+	workers := p.Clients()
 	ownerOf := make([]int, p.FileBytes)
 	if class == 2 {
 		for i := range ownerOf {
-			ownerOf[i] = int((int64(i) / p.SegmentSize) % int64(p.Procs))
+			ownerOf[i] = int((int64(i) / p.SegmentSize) % int64(workers))
 		}
 	} else {
 		granules := []int64{4, 8, 16, p.SegmentSize}
 		g := granules[rng.Intn(len(granules))] * int64(1+rng.Intn(3))
-		perm := rng.Perm(p.Procs)
+		perm := rng.Perm(workers)
 		for i := range ownerOf {
-			ownerOf[i] = perm[(int64(i)/g)%int64(p.Procs)]
+			ownerOf[i] = perm[(int64(i)/g)%int64(workers)]
 		}
 	}
 	runs := make([][]Op, p.Procs)
@@ -223,7 +245,7 @@ func genHoleReadRound(rng *rand.Rand, p *Program, phase int) Round {
 		gran *= 2
 	}
 	for b, off := 0, int64(0); off < p.FileBytes; b, off = b+1, off+gran {
-		rank := (b + phase) % p.Procs
+		rank := (b + phase) % p.Clients()
 		if rng.Intn(10) < 4 { // ~40% of blocks are holes
 			continue
 		}
@@ -245,7 +267,7 @@ func genHoleReadRound(rng *rand.Rand, p *Program, phase int) Round {
 // random (possibly overlapping, possibly never-written) ranges.
 func genReadRound(rng *rand.Rand, p *Program, sequential bool) Round {
 	var round Round
-	for rank := 0; rank < p.Procs; rank++ {
+	for rank := 0; rank < p.Clients(); rank++ {
 		if sequential && rng.Intn(10) < 7 {
 			off := rng.Int63n(p.FileBytes)
 			off -= off % p.SegmentSize

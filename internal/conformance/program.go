@@ -71,6 +71,15 @@ type Knobs struct {
 	// ranks share a node and the intra-node aggregation path is exercised.
 	CoresPerNode int `json:"cores_per_node,omitempty"`
 
+	// Delegation tier (class 6). Files > 0 additionally routes the program
+	// through internal/delegate with that many concurrently open files;
+	// ServerRanks carves that many dedicated server ranks out of Procs
+	// (0 = pass-through), and QueueDepth is the per-(client, server)
+	// admission window.
+	ServerRanks int `json:"server_ranks,omitempty"`
+	Files       int `json:"files,omitempty"`
+	QueueDepth  int `json:"queue_depth,omitempty"`
+
 	// OCIO / vanilla MPI-IO configuration.
 	Aggregators int  `json:"aggregators,omitempty"` // 0 = every rank
 	Sieving     bool `json:"sieving,omitempty"`     // vanilla read data sieving
@@ -105,6 +114,11 @@ type Program struct {
 func (p *Program) Capacity() int64 {
 	return int64(p.Procs) * int64(p.NumSegments) * p.SegmentSize
 }
+
+// Clients is the number of application ranks: Procs minus the delegation
+// servers withdrawn from the communicator. Every op rank must fall below
+// it — server ranks never run application code.
+func (p *Program) Clients() int { return p.Procs - p.Knobs.ServerRanks }
 
 // splitmix64 is the payload byte mixer (same construction the fault
 // injector uses for its rolls; reimplemented here so the oracle does not
@@ -208,6 +222,10 @@ func (p *Program) Validate() error {
 		return fmt.Errorf("conformance: negative tcio knob: %+v", p.Knobs)
 	case p.Knobs.Aggregators < 0 || p.Knobs.Aggregators > p.Procs:
 		return fmt.Errorf("conformance: %d aggregators with %d procs", p.Knobs.Aggregators, p.Procs)
+	case p.Knobs.ServerRanks < 0 || p.Knobs.ServerRanks >= p.Procs:
+		return fmt.Errorf("conformance: %d server ranks with %d procs", p.Knobs.ServerRanks, p.Procs)
+	case p.Knobs.Files < 0 || p.Knobs.QueueDepth < 0:
+		return fmt.Errorf("conformance: negative delegation knob: %+v", p.Knobs)
 	}
 	owner := make([]int8, p.FileBytes) // 0 = unwritten, else rank+1
 	for ri, round := range p.WriteRounds {
@@ -238,6 +256,9 @@ func (p *Program) checkOp(kind string, ri, oi int, op Op) error {
 	switch {
 	case op.Rank < 0 || op.Rank >= p.Procs:
 		return fmt.Errorf("conformance: %s round %d op %d: rank %d of %d", kind, ri, oi, op.Rank, p.Procs)
+	case op.Rank >= p.Clients():
+		return fmt.Errorf("conformance: %s round %d op %d: rank %d is a server rank (%d clients)",
+			kind, ri, oi, op.Rank, p.Clients())
 	case op.Off < 0 || op.Len < 0 || op.End() > p.FileBytes:
 		return fmt.Errorf("conformance: %s round %d op %d: [%d,%d) outside file of %d",
 			kind, ri, oi, op.Off, op.End(), p.FileBytes)

@@ -1,0 +1,378 @@
+package delegate
+
+// The client side of the tier: a Tier handle per client rank, and a File
+// per open file. A client never touches the file system in delegation
+// mode — every byte rides the request protocol to the owning server.
+// One rank may hold many files open at once; handles are the ordinal of
+// the collective Open call, so all clients agree on them without an
+// extra collective, and each File keeps its own position, counters, and
+// protocol state.
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/tcio"
+)
+
+// Tier is one client rank's view of the delegation tier.
+type Tier struct {
+	c       *mpi.Comm
+	cfg     Config
+	tcfg    tcio.Config
+	servers []int // nil => pass-through
+
+	// clientIdx is this rank's index among the client ranks; clients is
+	// their count. In pass-through mode these are just Rank and Size.
+	clientIdx int
+	clients   int
+
+	// seqs numbers this client's requests per server; the server sorts an
+	// epoch's staged writes by (client, seq), so the pair must be unique
+	// and monotone per (client, server) stream.
+	seqs []int64
+	// credits is the remaining admission window per server. A write
+	// consumes one; the server grants it back once the record is staged.
+	credits []int
+
+	nextHandle int32
+}
+
+// Comm returns the communicator the tier runs on.
+func (t *Tier) Comm() *mpi.Comm { return t.c }
+
+// ClientIndex is this rank's dense index among the client ranks, and
+// NumClients their count — the pair applications decompose work over, so
+// withdrawing ranks to serve does not leave holes in the work mapping.
+func (t *Tier) ClientIndex() int { return t.clientIdx }
+func (t *Tier) NumClients() int  { return t.clients }
+
+// Stats counts one client file's activity. In delegation mode the
+// request counters describe protocol traffic; in pass-through mode only
+// the call counters are populated (the tcio ledger lives on TCIO()).
+type Stats struct {
+	// Writes and WriteBytes count application write calls and their bytes.
+	Writes, WriteBytes int64
+	// Reads and ReadBytes count application read calls and their bytes.
+	Reads, ReadBytes int64
+	// WriteReqs and ReadReqs count protocol requests sent (domain pieces).
+	WriteReqs, ReadReqs int64
+	// CreditStalls counts writes that blocked on an exhausted admission
+	// window before they could be sent — the backpressure events.
+	CreditStalls int64
+	// Flushes counts flush epochs this file participated in.
+	Flushes int64
+}
+
+// File is one open file on one client rank.
+type File struct {
+	t      *Tier
+	direct *tcio.File // pass-through engine; nil in delegation mode
+
+	handle int32
+	name   string
+	mode   tcio.Mode
+	pos    int64
+	closed bool
+	stats  Stats
+}
+
+// Open opens name on every server (or directly through tcio in
+// pass-through mode). Open is collective over the client ranks: all
+// clients must open the same files in the same order, which is what
+// makes the handle — the call ordinal — agree everywhere for free.
+func (t *Tier) Open(name string, mode tcio.Mode) (*File, error) {
+	if mode != tcio.WriteMode && mode != tcio.ReadMode {
+		return nil, fmt.Errorf("delegate: open %q: bad mode %v", name, mode)
+	}
+	if t.servers == nil {
+		df, err := tcio.Open(t.c, name, mode, t.cfg.TCIO)
+		if err != nil {
+			return nil, err
+		}
+		return &File{t: t, direct: df, name: name, mode: mode, handle: -1}, nil
+	}
+	h := t.nextHandle
+	t.nextHandle++
+	for si := range t.servers {
+		if err := t.request(si, &mpi.RPCRequest{
+			Op: mpi.OpOpen, Handle: h, Off: int64(mode), Data: []byte(name),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return &File{t: t, handle: h, name: name, mode: mode}, nil
+}
+
+// request sends one protocol message to server si, consuming a sequence
+// number (opens and flushes are ordered in the same per-server stream as
+// writes, which is what lets the server trust FIFO delivery instead of
+// acknowledging opens).
+func (t *Tier) request(si int, req *mpi.RPCRequest) error {
+	req.Seq = t.seqs[si]
+	t.seqs[si]++
+	return t.c.SendRequest(t.servers[si], tagRequest, req)
+}
+
+// owner maps a file offset to the index (into t.servers) of the server
+// whose domain holds it.
+func (t *Tier) owner(off int64) int {
+	return int((off / t.cfg.DomainSize) % int64(len(t.servers)))
+}
+
+// Name reports the file name. Handle reports the protocol handle (-1 in
+// pass-through mode).
+func (f *File) Name() string  { return f.name }
+func (f *File) Handle() int32 { return f.handle }
+
+// TCIO exposes the pass-through engine, nil in delegation mode — callers
+// that want the tcio ledger (EagerWrites + FlushResidue == FSWrites and
+// friends) read it here.
+func (f *File) TCIO() *tcio.File { return f.direct }
+
+// Stats returns the client-side counters.
+func (f *File) Stats() Stats { return f.stats }
+
+// Seek repositions the file pointer, as io.Seeker does.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if f.direct != nil {
+		pos, err := f.direct.Seek(offset, whence)
+		f.pos = pos
+		return pos, err
+	}
+	switch whence {
+	case io.SeekStart:
+		// offset stands alone
+	case io.SeekCurrent:
+		offset += f.pos
+	default:
+		return f.pos, fmt.Errorf("delegate: seek whence %d", whence)
+	}
+	if offset < 0 {
+		return f.pos, fmt.Errorf("delegate: seek to %d", offset)
+	}
+	f.pos = offset
+	return f.pos, nil
+}
+
+// Write stores data at the file pointer and advances it. In delegation
+// mode the data is split at domain-block boundaries and each piece ships
+// to its owning server, blocking only when the admission window to that
+// server is exhausted.
+func (f *File) Write(data []byte) error {
+	err := f.WriteAt(f.pos, data)
+	if err == nil {
+		f.pos += int64(len(data))
+	}
+	return err
+}
+
+// WriteAt stores data at an explicit offset without moving the pointer.
+func (f *File) WriteAt(off int64, data []byte) error {
+	if f.direct != nil {
+		f.stats.Writes++
+		f.stats.WriteBytes += int64(len(data))
+		return f.direct.WriteAt(off, data)
+	}
+	if f.closed {
+		return fmt.Errorf("delegate: write to closed %q", f.name)
+	}
+	if f.mode != tcio.WriteMode {
+		return fmt.Errorf("delegate: write to read-mode %q", f.name)
+	}
+	f.stats.Writes++
+	f.stats.WriteBytes += int64(len(data))
+	t := f.t
+	ds := t.cfg.DomainSize
+	for len(data) > 0 {
+		n := (off/ds+1)*ds - off // bytes left in this domain block
+		if n > int64(len(data)) {
+			n = int64(len(data))
+		}
+		si := t.owner(off)
+		for t.credits[si] == 0 {
+			// Window exhausted: block for one grant from this server.
+			if _, err := t.c.Recv(t.servers[si], tagCredit); err != nil {
+				return err
+			}
+			t.credits[si]++
+			f.stats.CreditStalls++
+		}
+		t.credits[si]--
+		if err := t.request(si, &mpi.RPCRequest{
+			Op: mpi.OpWrite, Handle: f.handle, Off: off, Len: n, Data: data[:n],
+		}); err != nil {
+			return err
+		}
+		f.stats.WriteReqs++
+		off += n
+		data = data[n:]
+	}
+	return nil
+}
+
+// Read returns n bytes from the file pointer and advances it. Unlike
+// tcio's lazy queue, delegation reads are synchronous: the returned
+// buffer is already filled. (Pass-through keeps tcio's semantics — call
+// Fetch before relying on the bytes.)
+func (f *File) Read(n int64) ([]byte, error) {
+	if f.direct != nil {
+		f.stats.Reads++
+		f.stats.ReadBytes += n
+		buf, err := f.direct.Read(n)
+		f.pos += n
+		return buf, err
+	}
+	buf := make([]byte, n)
+	if err := f.ReadAt(f.pos, buf); err != nil {
+		return nil, err
+	}
+	f.pos += n
+	return buf, nil
+}
+
+// ReadAt fills dst from an explicit offset without moving the pointer.
+func (f *File) ReadAt(off int64, dst []byte) error {
+	if f.direct != nil {
+		f.stats.Reads++
+		f.stats.ReadBytes += int64(len(dst))
+		return f.direct.ReadAt(off, dst)
+	}
+	if f.closed {
+		return fmt.Errorf("delegate: read from closed %q", f.name)
+	}
+	if f.mode != tcio.ReadMode {
+		return fmt.Errorf("delegate: read from write-mode %q", f.name)
+	}
+	f.stats.Reads++
+	f.stats.ReadBytes += int64(len(dst))
+	t := f.t
+	ds := t.cfg.DomainSize
+	// Ship every piece before collecting: per-(client, server) FIFO in
+	// both directions means replies come back in request order, so the
+	// pieces pipeline across servers instead of round-tripping one by one.
+	type pending struct {
+		si  int
+		seq int64
+		dst []byte
+	}
+	var reqs []pending
+	for len(dst) > 0 {
+		n := (off/ds+1)*ds - off
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		si := t.owner(off)
+		seq := t.seqs[si]
+		if err := t.request(si, &mpi.RPCRequest{
+			Op: mpi.OpRead, Handle: f.handle, Off: off, Len: n,
+		}); err != nil {
+			return err
+		}
+		f.stats.ReadReqs++
+		reqs = append(reqs, pending{si: si, seq: seq, dst: dst[:n]})
+		off += n
+		dst = dst[n:]
+	}
+	for _, p := range reqs {
+		rep, err := t.c.RecvReply(t.servers[p.si], tagReply)
+		if err != nil {
+			return err
+		}
+		if !rep.OK {
+			return fmt.Errorf("delegate: read %q: %s", f.name, rep.Err)
+		}
+		if rep.Seq != p.seq || len(rep.Data) != len(p.dst) {
+			return fmt.Errorf("delegate: read %q: reply seq %d len %d, want seq %d len %d",
+				f.name, rep.Seq, len(rep.Data), p.seq, len(p.dst))
+		}
+		copy(p.dst, rep.Data)
+	}
+	return nil
+}
+
+// Fetch materializes queued lazy reads in pass-through mode; delegation
+// reads are synchronous, so it is a no-op there.
+func (f *File) Fetch() error {
+	if f.direct != nil {
+		return f.direct.Fetch()
+	}
+	return nil
+}
+
+// Flush closes a write epoch: the client drains its admission windows,
+// sends a flush marker to every server, and waits for each server's ack,
+// which the server sends only after the epoch's sorted writes hit the
+// file system. Flush is collective over the clients that opened the file
+// — a server closes the epoch when it holds markers from all of them.
+func (f *File) Flush() error {
+	if f.direct != nil {
+		return f.direct.Flush()
+	}
+	if f.closed {
+		return fmt.Errorf("delegate: flush of closed %q", f.name)
+	}
+	if f.mode != tcio.WriteMode {
+		return nil
+	}
+	t := f.t
+	for si := range t.servers {
+		// Reclaim outstanding grants so the window is full again; the
+		// marker follows the last write in the same FIFO stream, so no
+		// separate write-completion handshake is needed.
+		for t.credits[si] < t.cfg.QueueDepth {
+			if _, err := t.c.Recv(t.servers[si], tagCredit); err != nil {
+				return err
+			}
+			t.credits[si]++
+		}
+		if err := t.request(si, &mpi.RPCRequest{Op: mpi.OpFlush, Handle: f.handle}); err != nil {
+			return err
+		}
+	}
+	for si := range t.servers {
+		rep, err := t.c.RecvReply(t.servers[si], tagReply)
+		if err != nil {
+			return err
+		}
+		if !rep.OK {
+			return fmt.Errorf("delegate: flush %q: %s", f.name, rep.Err)
+		}
+	}
+	f.stats.Flushes++
+	return nil
+}
+
+// Close flushes (write mode) and releases the handle on every server.
+func (f *File) Close() error {
+	if f.direct != nil {
+		return f.direct.Close()
+	}
+	if f.closed {
+		return fmt.Errorf("delegate: double close of %q", f.name)
+	}
+	if f.mode == tcio.WriteMode {
+		if err := f.Flush(); err != nil {
+			return err
+		}
+	}
+	t := f.t
+	for si := range t.servers {
+		if err := t.request(si, &mpi.RPCRequest{Op: mpi.OpClose, Handle: f.handle}); err != nil {
+			return err
+		}
+	}
+	f.closed = true
+	return nil
+}
+
+// shutdown retires this client from every server's request loop.
+func (t *Tier) shutdown() error {
+	for si := range t.servers {
+		if err := t.request(si, &mpi.RPCRequest{Op: mpi.OpShutdown}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+// Package delegate adds an I/O delegation tier in front of tcio: a
+// configurable number of ranks leave the application and become dedicated
+// I/O servers, each owning a block-cyclic slice of every open file's
+// offset space (its file domains). Client ranks ship writes to the owning
+// server over a typed request/reply protocol (mpi.RPCRequest); servers
+// stage them per domain block and drain one coalesced batch per flush
+// epoch, so many small strided client writes reach the file system as few
+// long runs — the delegation counterpart of the paper's two-level
+// buffering, with the aggregation moved off the compute ranks entirely.
+//
+// Determinism. Request arrival order at a server races (clients run as
+// goroutines), so the server never applies writes in arrival order: it
+// stages them and, when a flush closes the epoch, sorts the staged
+// records by (client rank, per-client sequence) before applying
+// last-write-wins into the domain blocks. The drained batch and the final
+// file image are therefore pure functions of the program, independent of
+// scheduling. Flow control is a per-(client, server) credit window of
+// QueueDepth outstanding writes — admission control that bounds server
+// staging without timestamps.
+//
+// With ServerRanks == 0 the tier is a pass-through: Open returns a handle
+// backed directly by tcio.Open with the caller's Config, every rank is a
+// client, and the run is bit-identical to not using the package at all
+// (pinned by TestDelegateDegeneratePassThrough).
+package delegate
+
+import (
+	"fmt"
+
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/simtime"
+	"github.com/tcio/tcio/internal/tcio"
+)
+
+// Message tags of the delegation protocol, in the user tag space but high
+// enough not to collide with application tags.
+const (
+	tagRequest = 1<<20 + iota // client -> server requests
+	tagCredit                 // server -> client write-window grants
+	tagReply                  // server -> client flush acks and read data
+)
+
+// serverPerReq is the service time a server charges per request before
+// handling it — the cost of the admission queue's bookkeeping.
+const serverPerReq = 1 * simtime.Microsecond
+
+// Config parameterizes the tier.
+type Config struct {
+	// ServerRanks is the number of ranks withdrawn from the application
+	// to run as dedicated I/O servers. 0 disables the tier entirely.
+	ServerRanks int
+	// QueueDepth bounds the outstanding unacknowledged writes each client
+	// may have at each server (the admission window). 0 means 8.
+	QueueDepth int
+	// DomainSize is the block-cyclic file-domain granularity: the server
+	// owning offset off is servers[(off/DomainSize) % len(servers)].
+	// 0 means four tcio segments, so one domain block spans several
+	// segment drains' worth of coalescing opportunity.
+	DomainSize int64
+	// TCIO configures the pass-through engine (ServerRanks == 0) and
+	// supplies the segment geometry DomainSize defaults from.
+	TCIO tcio.Config
+	// Collect, when non-nil, receives every server's final counters.
+	Collect *Collector
+}
+
+// Run executes body on every client rank of c, with cfg.ServerRanks ranks
+// (chosen by cluster.SpreadServers) serving the delegation protocol
+// instead. All ranks of the communicator must call Run collectively. When
+// body returns on a client, the client releases its servers; Run returns
+// on servers once every client has done so. With ServerRanks == 0 every
+// rank is a client and body runs everywhere.
+func Run(c *mpi.Comm, cfg Config, body func(*Tier) error) error {
+	if cfg.ServerRanks < 0 || cfg.ServerRanks >= c.Size() {
+		return fmt.Errorf("delegate: %d server ranks of %d", cfg.ServerRanks, c.Size())
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("delegate: queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.DomainSize < 0 {
+		return fmt.Errorf("delegate: domain size %d", cfg.DomainSize)
+	}
+	if cfg.ServerRanks == 0 {
+		// Pass-through: no protocol, no placement, no extra collectives —
+		// the degenerate configuration must stay bit-identical to direct
+		// tcio use.
+		return body(&Tier{c: c, cfg: cfg, clientIdx: c.Rank(), clients: c.Size()})
+	}
+	tcfg, err := cfg.TCIO.Normalize(c.FS().Config().StripeSize)
+	if err != nil {
+		return err
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.DomainSize == 0 {
+		cfg.DomainSize = 4 * tcfg.SegmentSize
+	}
+	servers := c.Machine().SpreadServers(c.Size(), cfg.ServerRanks)
+	for _, s := range servers {
+		if s == c.Rank() {
+			return serve(c, cfg, tcfg, servers)
+		}
+	}
+	// My index among the client ranks (the ranks not serving), so work
+	// decomposition over clients needs no communication.
+	idx := c.Rank()
+	for _, s := range servers {
+		if s < c.Rank() {
+			idx--
+		}
+	}
+	t := &Tier{
+		c:         c,
+		cfg:       cfg,
+		tcfg:      tcfg,
+		servers:   servers,
+		clientIdx: idx,
+		clients:   c.Size() - len(servers),
+		seqs:      make([]int64, len(servers)),
+		credits:   make([]int, len(servers)),
+	}
+	for i := range t.credits {
+		t.credits[i] = cfg.QueueDepth
+	}
+	if err := body(t); err != nil {
+		return err
+	}
+	return t.shutdown()
+}
+
+// IsDelegated reports whether the tier runs the delegation protocol
+// (false in ServerRanks == 0 pass-through).
+func (t *Tier) IsDelegated() bool { return len(t.servers) > 0 }
+
+// Servers returns the server rank set (nil in pass-through).
+func (t *Tier) Servers() []int { return append([]int(nil), t.servers...) }

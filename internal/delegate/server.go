@@ -1,0 +1,339 @@
+package delegate
+
+// The server side of the tier. A server rank never runs application code:
+// it sits in an mpi.Serve loop staging client writes into per-handle,
+// per-domain-block buffers, and drains one coalesced batch per flush
+// epoch. Arrival order at the loop races with goroutine scheduling, so
+// nothing order-dependent happens at receive time — records are staged
+// with their (client, seq) identity and every epoch is applied in sorted
+// order, making the drained batch and the file image deterministic.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/mutate"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/storage"
+	"github.com/tcio/tcio/internal/tcio"
+	"github.com/tcio/tcio/internal/trace"
+)
+
+// ServerStats is one server rank's final counters.
+type ServerStats struct {
+	// Rank is the server's rank in the communicator.
+	Rank int
+	// Requests counts protocol requests served (shutdowns excluded).
+	Requests int64
+	// StagedWrites and StagedBytes count write records admitted.
+	StagedWrites int64
+	StagedBytes  int64
+	// Epochs counts flush epochs closed.
+	Epochs int64
+	// BatchedRuns counts the coalesced extent runs drained — each is one
+	// file system write request, so comparing it against StagedWrites
+	// measures the tier's aggregation factor.
+	BatchedRuns int64
+	// FSWrites/FSReads/FSBytes are the storage-layer request and byte
+	// counts the drains and reads produced; Retries the transient faults
+	// absorbed under chaos.
+	FSWrites int64
+	FSReads  int64
+	FSBytes  int64
+	Retries  int64
+}
+
+// Collector gathers ServerStats across server ranks (they finish as
+// separate goroutines, so the sink is mutex-guarded).
+type Collector struct {
+	mu      sync.Mutex
+	servers []ServerStats
+}
+
+func (col *Collector) add(s ServerStats) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	col.servers = append(col.servers, s)
+}
+
+// Servers returns the collected stats sorted by rank.
+func (col *Collector) Servers() []ServerStats {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	out := append([]ServerStats(nil), col.servers...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}
+
+// writeRec is one staged client write.
+type writeRec struct {
+	client int
+	seq    int64
+	off    int64
+	data   []byte
+}
+
+// handleFile is a server's state for one open handle.
+type handleFile struct {
+	name  string
+	mode  tcio.Mode
+	refs  int // clients currently holding the handle open
+	pf    *pfs.File
+	drain *storage.Client
+	// readers holds one storage client per reading client rank,
+	// impersonating that rank so the parallel file system's readahead
+	// window and the fault injector's identity keys see the same
+	// per-client streams they would without delegation.
+	readers map[int]*storage.Client
+	staged  []writeRec
+	flushed map[int]bool
+	epoch   int64
+}
+
+type server struct {
+	c       *mpi.Comm
+	cfg     Config
+	tcfg    tcio.Config
+	retry   faults.RetryPolicy
+	clients int // client-rank count: the flush-epoch quorum
+	handles map[int32]*handleFile
+	stats   ServerStats
+}
+
+// serve runs the delegation request loop on a server rank until every
+// client has shut down, then deposits the rank's counters in Collect.
+func serve(c *mpi.Comm, cfg Config, tcfg tcio.Config, serverRanks []int) error {
+	srv := &server{
+		c:       c,
+		cfg:     cfg,
+		tcfg:    tcfg,
+		retry:   faults.DefaultRetryPolicy(),
+		handles: make(map[int32]*handleFile),
+	}
+	if tcfg.Retry != nil {
+		srv.retry = *tcfg.Retry
+	}
+	srv.clients = c.Size() - len(serverRanks)
+	err := c.Serve(tagRequest, srv.clients, serverPerReq, srv.handle)
+	if cfg.Collect != nil {
+		srv.stats.Rank = c.Rank()
+		cfg.Collect.add(srv.stats)
+	}
+	return err
+}
+
+func (s *server) handle(req *mpi.RPCRequest) error {
+	s.stats.Requests++
+	switch req.Op {
+	case mpi.OpOpen:
+		return s.open(req)
+	case mpi.OpWrite:
+		return s.write(req)
+	case mpi.OpRead:
+		return s.read(req)
+	case mpi.OpFlush:
+		return s.flush(req)
+	case mpi.OpClose:
+		return s.close(req)
+	}
+	return fmt.Errorf("delegate: unexpected %s", req.Op)
+}
+
+func (s *server) open(req *mpi.RPCRequest) error {
+	name, mode := string(req.Data), tcio.Mode(req.Off)
+	h := s.handles[req.Handle]
+	if h == nil {
+		pf := s.c.FS().Open(name)
+		drain := storage.NewClient(pf, s.c.Node(), s.c.Rank(), s.c)
+		drain.SetRetryPolicy(s.retry)
+		drain.SetTrace(s.tcfg.Trace)
+		h = &handleFile{
+			name:    name,
+			mode:    mode,
+			pf:      pf,
+			drain:   drain,
+			readers: make(map[int]*storage.Client),
+			flushed: make(map[int]bool),
+		}
+		s.handles[req.Handle] = h
+	}
+	if h.name != name || h.mode != mode {
+		return fmt.Errorf("delegate: handle %d reopened as %q/%v, was %q/%v",
+			req.Handle, name, mode, h.name, h.mode)
+	}
+	h.refs++
+	return nil
+}
+
+func (s *server) lookup(req *mpi.RPCRequest) (*handleFile, error) {
+	h := s.handles[req.Handle]
+	if h == nil {
+		return nil, fmt.Errorf("delegate: %s on unknown handle %d from rank %d",
+			req.Op, req.Handle, req.Client)
+	}
+	return h, nil
+}
+
+func (s *server) write(req *mpi.RPCRequest) error {
+	h, err := s.lookup(req)
+	if err != nil {
+		return err
+	}
+	h.staged = append(h.staged, writeRec{
+		client: req.Client, seq: req.Seq, off: req.Off, data: req.Data,
+	})
+	s.stats.StagedWrites++
+	s.stats.StagedBytes += int64(len(req.Data))
+	// Grant the admission credit back now that the record is staged.
+	return s.c.Send(req.Client, tagCredit, []byte{1})
+}
+
+func (s *server) read(req *mpi.RPCRequest) error {
+	h, err := s.lookup(req)
+	if err != nil {
+		return err
+	}
+	rd := h.readers[req.Client]
+	if rd == nil {
+		rd = storage.NewClient(h.pf, s.c.Node(), req.Client, s.c)
+		rd.SetRetryPolicy(s.retry)
+		rd.SetTrace(s.tcfg.Trace)
+		h.readers[req.Client] = rd
+	}
+	buf := make([]byte, req.Len)
+	res, err := rd.ReadExtents("delegate-read", trace.KindFetch, []storage.Request{
+		{Off: req.Off, Data: buf, Tag: fmt.Sprintf("c%d", req.Client)},
+	})
+	s.stats.FSReads += res.Requests
+	s.stats.FSBytes += res.Bytes
+	s.stats.Retries += res.Retries
+	rep := &mpi.RPCReply{OK: err == nil, Seq: req.Seq, Data: buf}
+	if err != nil {
+		rep.Err, rep.Data = err.Error(), nil
+	}
+	return s.c.SendReply(req.Client, tagReply, rep)
+}
+
+func (s *server) flush(req *mpi.RPCRequest) error {
+	h, err := s.lookup(req)
+	if err != nil {
+		return err
+	}
+	if h.flushed[req.Client] {
+		return fmt.Errorf("delegate: double flush of handle %d from rank %d",
+			req.Handle, req.Client)
+	}
+	h.flushed[req.Client] = true
+	// The quorum is the static client count, not the opens seen so far: a
+	// fast client's open, writes, and marker can all arrive before a slow
+	// client has even opened the file, and closing on a partial quorum
+	// would drain an epoch missing the slow clients' writes. Open is
+	// collective over the clients, so every client contributes exactly one
+	// marker per epoch, and FIFO per client orders marker after writes.
+	if len(h.flushed) < s.clients {
+		return nil
+	}
+	return s.closeEpoch(h)
+}
+
+// blockStage is one domain block's staging buffer during an epoch close.
+type blockStage struct {
+	buf  []byte
+	runs []extent.Extent // block-relative dirty runs, coalesced
+}
+
+// closeEpoch applies the epoch's staged writes in (client, seq) order —
+// last write wins, deterministically — coalesces them per domain block,
+// drains one batch, and acks the flushed clients in rank order.
+func (s *server) closeEpoch(h *handleFile) error {
+	sort.Slice(h.staged, func(i, j int) bool {
+		a, b := h.staged[i], h.staged[j]
+		if a.client != b.client {
+			return a.client < b.client
+		}
+		return a.seq < b.seq
+	})
+	if mutate.Enabled(mutate.DelegateDropQueuedFlush) && len(h.staged) > 0 {
+		h.staged = h.staged[:len(h.staged)-1]
+	}
+	ds := s.cfg.DomainSize
+	blocks := make(map[int64]*blockStage)
+	var order []int64
+	for _, rec := range h.staged {
+		blk := rec.off / ds
+		st := blocks[blk]
+		if st == nil {
+			// Plain staging memory, outside the simulated-memory
+			// accountant: server staging must not perturb the per-rank
+			// allocation fault stream (the same rule tcio's populate and
+			// prefetch scratch follows).
+			st = &blockStage{buf: make([]byte, ds)}
+			blocks[blk] = st
+			order = append(order, blk)
+		}
+		rel := rec.off - blk*ds
+		copy(st.buf[rel:], rec.data)
+		st.runs = extent.Coalesce(append(st.runs, extent.Extent{Off: rel, Len: int64(len(rec.data))}))
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	var reqs []storage.Request
+	for _, blk := range order {
+		st := blocks[blk]
+		for _, run := range st.runs {
+			reqs = append(reqs, storage.Request{
+				Off:  blk*ds + run.Off,
+				Data: st.buf[run.Off:run.End()],
+				Tag:  fmt.Sprintf("blk=%d", blk),
+			})
+		}
+	}
+	var drainErr error
+	if len(reqs) > 0 {
+		res, err := h.drain.WriteExtents("delegate-drain", trace.KindDrain, reqs)
+		drainErr = err
+		s.stats.BatchedRuns += int64(len(reqs))
+		s.stats.FSWrites += res.Requests
+		s.stats.FSBytes += res.Bytes
+		s.stats.Retries += res.Retries
+	}
+	s.stats.Epochs++
+	h.epoch++
+	acked := make([]int, 0, len(h.flushed))
+	for cl := range h.flushed {
+		acked = append(acked, cl)
+	}
+	sort.Ints(acked)
+	for _, cl := range acked {
+		rep := &mpi.RPCReply{OK: drainErr == nil, Seq: h.epoch}
+		if drainErr != nil {
+			rep.Err = drainErr.Error()
+		}
+		if err := s.c.SendReply(cl, tagReply, rep); err != nil {
+			return err
+		}
+	}
+	h.staged = nil
+	h.flushed = make(map[int]bool)
+	return nil
+}
+
+func (s *server) close(req *mpi.RPCRequest) error {
+	h, err := s.lookup(req)
+	if err != nil {
+		return err
+	}
+	h.refs--
+	if h.refs > 0 {
+		return nil
+	}
+	if len(h.staged) > 0 {
+		return fmt.Errorf("delegate: handle %d closed with %d staged writes",
+			req.Handle, len(h.staged))
+	}
+	delete(s.handles, req.Handle)
+	return nil
+}

@@ -174,7 +174,10 @@ func TestChaosOCIORoundTrip(t *testing.T) {
 		fs := chaosFS(in)
 		name := fmt.Sprintf("chaos-ocio-%d", seed)
 		if err := chaosRun(fs, in, procs, func(c *mpi.Comm) error {
-			f := mpiio.Open(c, name)
+			f, err := mpiio.Open(c, name)
+			if err != nil {
+				return err
+			}
 			if err := f.SetView(int64(c.Rank())*perRank, datatype.Byte, datatype.Byte); err != nil {
 				return err
 			}
@@ -191,7 +194,10 @@ func TestChaosOCIORoundTrip(t *testing.T) {
 			t.Fatalf("seed %d write: %v", seed, err)
 		}
 		if err := chaosRun(fs, in, procs, func(c *mpi.Comm) error {
-			f := mpiio.Open(c, name)
+			f, err := mpiio.Open(c, name)
+			if err != nil {
+				return err
+			}
 			if err := f.SetView(int64(c.Rank())*perRank, datatype.Byte, datatype.Byte); err != nil {
 				return err
 			}

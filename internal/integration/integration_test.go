@@ -61,7 +61,10 @@ func TestWriteTCIOReadOCIO(t *testing.T) {
 	})
 
 	run(t, fs, procs, func(c *mpi.Comm) error {
-		f := mpiio.Open(c, "cross")
+		f, err := mpiio.Open(c, "cross")
+		if err != nil {
+			return err
+		}
 		etype, err := datatype.Struct([]int{1, 1}, []int64{0, 4}, []datatype.Type{datatype.Int, datatype.Double})
 		if err != nil {
 			return err
@@ -99,7 +102,10 @@ func TestWriteOCIOReadTCIO(t *testing.T) {
 	fs := sharedFS()
 
 	run(t, fs, procs, func(c *mpi.Comm) error {
-		f := mpiio.Open(c, "cross2")
+		f, err := mpiio.Open(c, "cross2")
+		if err != nil {
+			return err
+		}
 		// Contiguous per-rank regions through a view displacement.
 		if err := f.SetView(int64(c.Rank()*perRank), datatype.Byte, datatype.Byte); err != nil {
 			return err
@@ -235,7 +241,10 @@ func TestOOMAbortsCleanly(t *testing.T) {
 	fscfg.StripeSize = 1
 	_, err := mpi.Run(mpi.Config{Procs: 12, Machine: m, FS: pfs.New(fscfg), EnforceMemory: true},
 		func(c *mpi.Comm) error {
-			f := mpiio.Open(c, "oom")
+			f, err := mpiio.Open(c, "oom")
+			if err != nil {
+				return err
+			}
 			if err := f.SeekTo(int64(c.Rank()) * 4096); err != nil {
 				return err
 			}
@@ -259,7 +268,10 @@ func TestConcurrentTCIOAndVanillaFiles(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		vf := mpiio.Open(c, "v.dat")
+		vf, err := mpiio.Open(c, "v.dat")
+		if err != nil {
+			return err
+		}
 		for i := 0; i < 8; i++ {
 			off := int64(c.Rank()*8 + i)
 			if err := tf.WriteAt(off, []byte{byte(c.Rank() + 1)}); err != nil {

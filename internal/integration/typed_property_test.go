@@ -93,7 +93,10 @@ func writeTCIO(plan [][]propOp) (*mpiiFS, error) {
 func writeOCIO(plan [][]propOp) (*mpiiFS, error) {
 	fs := newMpiiFS()
 	err := fs.run(func(c *mpi.Comm) error {
-		f := mpiio.Open(c, "prop")
+		f, err := mpiio.Open(c, "prop")
+		if err != nil {
+			return err
+		}
 		for k, op := range plan[c.Rank()] {
 			if err := f.SeekTo(propPos(c.Rank(), k)); err != nil {
 				return err
@@ -111,7 +114,10 @@ func writeOCIO(plan [][]propOp) (*mpiiFS, error) {
 func writePOSIX(plan [][]propOp) (*mpiiFS, error) {
 	fs := newMpiiFS()
 	err := fs.run(func(c *mpi.Comm) error {
-		f := mpiio.Open(c, "prop")
+		f, err := mpiio.Open(c, "prop")
+		if err != nil {
+			return err
+		}
 		for k, op := range plan[c.Rank()] {
 			if err := f.WriteAt(propPos(c.Rank(), k), op.data); err != nil {
 				return err

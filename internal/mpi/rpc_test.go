@@ -1,0 +1,152 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/tcio/tcio/internal/cluster"
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+func TestRPCCodecRoundTrip(t *testing.T) {
+	cases := []RPCRequest{
+		{Op: OpOpen, Handle: 0, Seq: 0},
+		{Op: OpWrite, Handle: 3, Seq: 41, Off: 1 << 30, Len: 5, Data: []byte("hello")},
+		{Op: OpRead, Handle: 1, Seq: -1, Off: 7, Len: 4096},
+		{Op: OpShutdown},
+	}
+	for _, in := range cases {
+		out, err := decodeRequest(encodeRequest(&in))
+		if err != nil {
+			t.Fatalf("%s: %v", in.Op, err)
+		}
+		if out.Op != in.Op || out.Handle != in.Handle || out.Seq != in.Seq ||
+			out.Off != in.Off || out.Len != in.Len || !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("%s round-trip: got %+v want %+v", in.Op, out, in)
+		}
+	}
+	reps := []RPCReply{
+		{OK: true, Seq: 9, Data: []byte{1, 2, 3}},
+		{OK: false, Err: "pfs: boom", Seq: 2},
+		{},
+	}
+	for i, in := range reps {
+		out, err := decodeReply(encodeReply(&in))
+		if err != nil {
+			t.Fatalf("reply %d: %v", i, err)
+		}
+		if out.OK != in.OK || out.Err != in.Err || out.Seq != in.Seq || !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("reply %d round-trip: got %+v want %+v", i, out, in)
+		}
+	}
+}
+
+func TestRPCCodecRejectsCorrupt(t *testing.T) {
+	if _, err := decodeRequest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated request decoded")
+	}
+	buf := encodeRequest(&RPCRequest{Op: OpWrite, Data: []byte("abcd")})
+	if _, err := decodeRequest(buf[:len(buf)-1]); err == nil {
+		t.Fatal("short payload decoded")
+	}
+	if _, err := decodeReply([]byte{0}); err == nil {
+		t.Fatal("truncated reply decoded")
+	}
+	rbuf := encodeReply(&RPCReply{Err: "x", Data: []byte("yz")})
+	if _, err := decodeReply(rbuf[:len(rbuf)-1]); err == nil {
+		t.Fatal("short reply decoded")
+	}
+}
+
+// TestRPCServe drives a 3-rank world: rank 2 serves, ranks 0-1 each send
+// two writes, one synchronous read, and a shutdown. The server must see
+// the true envelope source as Client and per-client sequence order must
+// survive the any-source loop.
+func TestRPCServe(t *testing.T) {
+	const tag = 77
+	var (
+		mu   sync.Mutex
+		seen []string
+	)
+	_, err := Run(Config{Procs: 3, Machine: cluster.Lonestar()}, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return c.Serve(tag, 2, 500*simtime.Nanosecond, func(req *RPCRequest) error {
+				mu.Lock()
+				seen = append(seen, fmt.Sprintf("%s c%d seq%d off%d %q",
+					req.Op, req.Client, req.Seq, req.Off, req.Data))
+				mu.Unlock()
+				if req.Op == OpRead {
+					return c.SendReply(req.Client, tag+1, &RPCReply{
+						OK: true, Seq: req.Seq, Data: []byte{byte(req.Client), byte(req.Off)},
+					})
+				}
+				return nil
+			})
+		}
+		me := c.Rank()
+		for s := 0; s < 2; s++ {
+			if err := c.SendRequest(2, tag, &RPCRequest{
+				Op: OpWrite, Seq: int64(s), Off: int64(me*100 + s),
+				Data: []byte{byte(me), byte(s)},
+			}); err != nil {
+				return err
+			}
+		}
+		if err := c.SendRequest(2, tag, &RPCRequest{Op: OpRead, Seq: 2, Off: int64(me)}); err != nil {
+			return err
+		}
+		rep, err := c.RecvReply(2, tag+1)
+		if err != nil {
+			return err
+		}
+		if !rep.OK || rep.Seq != 2 || !bytes.Equal(rep.Data, []byte{byte(me), byte(me)}) {
+			return fmt.Errorf("rank %d: bad reply %+v", me, rep)
+		}
+		return c.SendRequest(2, tag, &RPCRequest{Op: OpShutdown})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("server handled %d requests, want 6: %v", len(seen), seen)
+	}
+	// Arrival interleaving across clients is scheduler-dependent, but each
+	// client's own stream is FIFO: sorting the log restores a canonical view.
+	sort.Strings(seen)
+	want := []string{
+		`read c0 seq2 off0 ""`,
+		`read c1 seq2 off1 ""`,
+		`write c0 seq0 off0 "\x00\x00"`,
+		`write c0 seq1 off1 "\x00\x01"`,
+		`write c1 seq0 off100 "\x01\x00"`,
+		`write c1 seq1 off101 "\x01\x01"`,
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("request log mismatch at %d:\ngot  %q\nwant %q", i, seen[i], want[i])
+		}
+	}
+}
+
+// TestRPCServeHandlerError pins that a handler failure aborts the loop
+// with the op and source rank in the error.
+func TestRPCServeHandlerError(t *testing.T) {
+	boom := errors.New("domain exploded")
+	_, err := Run(Config{Procs: 2, Machine: cluster.Lonestar()}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Serve(5, 1, 0, func(req *RPCRequest) error { return boom })
+		}
+		return c.SendRequest(1, 5, &RPCRequest{Op: OpFlush})
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped handler error", err)
+	}
+	if !strings.Contains(err.Error(), "flush from rank 0") {
+		t.Fatalf("err %q lacks op/source context", err)
+	}
+}

@@ -14,7 +14,10 @@ import (
 
 func TestSetAggregatorsValidation(t *testing.T) {
 	run(t, 2, func(c *mpi.Comm) error {
-		f := Open(c, "aggval")
+		f, err := Open(c, "aggval")
+		if err != nil {
+			return err
+		}
 		if err := f.SetAggregators(-1); err == nil {
 			return fmt.Errorf("negative aggregators accepted")
 		}
@@ -37,7 +40,10 @@ func TestCollectiveWriteWithFewerAggregators(t *testing.T) {
 		var fsWrites int64
 		run(t, procs, func(c *mpi.Comm) error {
 			name := fmt.Sprintf("agg%d", aggs)
-			f := Open(c, name)
+			f, err := Open(c, name)
+			if err != nil {
+				return err
+			}
 			if err := f.SetAggregators(aggs); err != nil {
 				return err
 			}
@@ -79,7 +85,10 @@ func TestCollectiveWriteWithFewerAggregators(t *testing.T) {
 func TestCollectiveReadWithFewerAggregators(t *testing.T) {
 	const procs, pairs = 8, 8
 	run(t, procs, func(c *mpi.Comm) error {
-		f := Open(c, "aggread")
+		f, err := Open(c, "aggread")
+		if err != nil {
+			return err
+		}
 		if c.Rank() == 0 {
 			if err := f.WriteAt(0, paperReference(procs, pairs)); err != nil {
 				return err
@@ -123,7 +132,10 @@ func TestDataSievingSameBytesFewerRequests(t *testing.T) {
 		var data []byte
 		run(t, 1, func(c *mpi.Comm) error {
 			name := fmt.Sprintf("sieve%v", sieve)
-			f := Open(c, name)
+			f, err := Open(c, name)
+			if err != nil {
+				return err
+			}
 			// Lay down a strided pattern: 4 data bytes every 16.
 			content := make([]byte, blocks*16)
 			for i := range content {
@@ -168,7 +180,10 @@ func TestDataSievingSameBytesFewerRequests(t *testing.T) {
 
 func TestSievingSingleRunUnchanged(t *testing.T) {
 	run(t, 1, func(c *mpi.Comm) error {
-		f := Open(c, "sieve1")
+		f, err := Open(c, "sieve1")
+		if err != nil {
+			return err
+		}
 		if err := f.WriteAt(0, []byte{1, 2, 3, 4}); err != nil {
 			return err
 		}

@@ -104,13 +104,19 @@ func (f *File) chargeCPU(per simtime.Duration, n int) {
 // Open opens (creating if necessary) the named shared file. Open is not
 // collective in this runtime — the underlying object is shared by name —
 // but callers conventionally open on all ranks, as MPI_File_open requires.
-func Open(c *mpi.Comm, name string) *File {
+// The error return matches MPI_File_open's (and tcio.Open's) contract;
+// today only an empty name is rejected, but callers must not assume that
+// stays the whole list.
+func Open(c *mpi.Comm, name string) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("mpiio: open with empty name")
+	}
 	return &File{
 		c:        c,
 		store:    storage.NewClient(c.FS().Open(name), c.Node(), c.Rank(), c),
 		etype:    datatype.Byte,
 		filetype: datatype.Byte,
-	}
+	}, nil
 }
 
 // PFS exposes the underlying simulated file (verification helper).

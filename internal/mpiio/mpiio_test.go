@@ -26,7 +26,10 @@ func run(t *testing.T, procs int, fn func(*mpi.Comm) error) mpi.Report {
 
 func TestIndependentWriteReadRoundTrip(t *testing.T) {
 	run(t, 2, func(c *mpi.Comm) error {
-		f := Open(c, "indep")
+		f, err := Open(c, "indep")
+		if err != nil {
+			return err
+		}
 		if c.Rank() == 0 {
 			if err := f.WriteAt(10, []byte("hello")); err != nil {
 				return err
@@ -48,7 +51,10 @@ func TestIndependentWriteReadRoundTrip(t *testing.T) {
 
 func TestWriteAdvancesPointer(t *testing.T) {
 	run(t, 1, func(c *mpi.Comm) error {
-		f := Open(c, "ptr")
+		f, err := Open(c, "ptr")
+		if err != nil {
+			return err
+		}
 		if err := f.Write([]byte("ab")); err != nil {
 			return err
 		}
@@ -78,7 +84,10 @@ func TestWriteAdvancesPointer(t *testing.T) {
 
 func TestSetViewValidation(t *testing.T) {
 	run(t, 1, func(c *mpi.Comm) error {
-		f := Open(c, "v")
+		f, err := Open(c, "v")
+		if err != nil {
+			return err
+		}
 		if err := f.SetView(-1, datatype.Byte, datatype.Byte); err == nil {
 			return errors.New("negative disp accepted")
 		}
@@ -99,7 +108,10 @@ func TestSetViewValidation(t *testing.T) {
 
 func TestFlattenThroughVectorView(t *testing.T) {
 	run(t, 1, func(c *mpi.Comm) error {
-		f := Open(c, "flat")
+		f, err := Open(c, "flat")
+		if err != nil {
+			return err
+		}
 		// filetype: 4-byte block every 12 bytes.
 		ft, _ := datatype.Vector(3, 1, 3, datatype.Int)
 		rt, _ := datatype.Resized(ft, 36)
@@ -154,7 +166,10 @@ func TestWriteAllPaperExample(t *testing.T) {
 	const procs, pairs = 2, 3
 	var snapshot []byte
 	run(t, procs, func(c *mpi.Comm) error {
-		f := Open(c, "fig2")
+		f, err := Open(c, "fig2")
+		if err != nil {
+			return err
+		}
 		if err := paperView(f, c.Rank(), procs, pairs); err != nil {
 			return err
 		}
@@ -182,7 +197,10 @@ func TestWriteAllPaperExample(t *testing.T) {
 func TestReadAllPaperExample(t *testing.T) {
 	const procs, pairs = 4, 5
 	run(t, procs, func(c *mpi.Comm) error {
-		f := Open(c, "fig2r")
+		f, err := Open(c, "fig2r")
+		if err != nil {
+			return err
+		}
 		// Seed the file from rank 0 with the reference image.
 		if c.Rank() == 0 {
 			if err := f.WriteAt(0, paperReference(procs, pairs)); err != nil {
@@ -214,7 +232,10 @@ func TestWriteAllManyRanksMatchesReference(t *testing.T) {
 	const procs, pairs = 8, 16
 	var snapshot []byte
 	run(t, procs, func(c *mpi.Comm) error {
-		f := Open(c, "many")
+		f, err := Open(c, "many")
+		if err != nil {
+			return err
+		}
 		if err := paperView(f, c.Rank(), procs, pairs); err != nil {
 			return err
 		}
@@ -240,7 +261,10 @@ func TestWriteAllWithHolesPreservesExistingBytes(t *testing.T) {
 	const procs = 2
 	var snapshot []byte
 	run(t, procs, func(c *mpi.Comm) error {
-		f := Open(c, "holes")
+		f, err := Open(c, "holes")
+		if err != nil {
+			return err
+		}
 		// Pre-existing content everywhere.
 		if c.Rank() == 0 {
 			if err := f.WriteAt(0, bytes.Repeat([]byte{0xEE}, 64)); err != nil {
@@ -277,14 +301,20 @@ func TestWriteAllWithHolesPreservesExistingBytes(t *testing.T) {
 
 func TestWriteAllEmptyRequestAllRanks(t *testing.T) {
 	run(t, 3, func(c *mpi.Comm) error {
-		f := Open(c, "empty")
+		f, err := Open(c, "empty")
+		if err != nil {
+			return err
+		}
 		return f.WriteAll(nil)
 	})
 }
 
 func TestReadAllEmptyRequest(t *testing.T) {
 	run(t, 2, func(c *mpi.Comm) error {
-		f := Open(c, "emptyr")
+		f, err := Open(c, "emptyr")
+		if err != nil {
+			return err
+		}
 		got, err := f.ReadAll(0)
 		if err != nil {
 			return err
@@ -300,7 +330,10 @@ func TestWriteAllAggregatorOOM(t *testing.T) {
 	m := cluster.Lonestar()
 	m.ByteScale = 1 << 21 // every real byte costs 2 MiB simulated
 	_, err := mpi.Run(mpi.Config{Procs: 12, Machine: m, EnforceMemory: true}, func(c *mpi.Comm) error {
-		f := Open(c, "oom")
+		f, err := Open(c, "oom")
+		if err != nil {
+			return err
+		}
 		// 2 KiB per rank -> 4 GiB simulated aggregate; each aggregator's
 		// domain buffer alone exceeds the 2 GiB per-rank share? Domain is
 		// aggregate/12 ~ 341 MiB; make the request bigger via a large
@@ -357,7 +390,10 @@ func TestRandomInterleavedCollectiveRoundTrip(t *testing.T) {
 		}
 		name := fmt.Sprintf("rand%d", seed)
 		run(t, procs, func(c *mpi.Comm) error {
-			f := Open(c, name)
+			f, err := Open(c, name)
+			if err != nil {
+				return err
+			}
 			if err := f.SetView(0, datatype.Byte, views[c.Rank()]); err != nil {
 				return err
 			}
@@ -456,5 +492,19 @@ func TestCoversDomain(t *testing.T) {
 	}
 	if extent.Covers(nil, 10, 30) {
 		t.Fatal("empty coverage accepted")
+	}
+}
+
+// TestOpenRejectsEmptyName covers Open's error contract: MPI_File_open
+// reports failures through a return code, and so does Open now.
+func TestOpenRejectsEmptyName(t *testing.T) {
+	_, err := mpi.Run(mpi.Config{Procs: 1, Machine: cluster.Lonestar()}, func(c *mpi.Comm) error {
+		if f, err := Open(c, ""); err == nil || f != nil {
+			t.Errorf("Open with empty name: f=%v err=%v, want nil+error", f, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

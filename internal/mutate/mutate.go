@@ -47,6 +47,10 @@ const (
 	// highest-ranked origin's read intents from the exchange, so
 	// aggregators never stage the runs only that rank asked for.
 	TCIOTwoPhaseDropIntent = "tcio.twophase-drop-intent"
+	// DelegateDropQueuedFlush makes a delegation server forget the last
+	// queued write record when a flush closes the epoch — the bytes a
+	// client believes acknowledged never reach the file system.
+	DelegateDropQueuedFlush = "delegate.drop-queued-flush"
 )
 
 // All lists every mutant the gate must catch.
@@ -62,5 +66,6 @@ func All() []string {
 		TCIONodeAggDropDeposit,
 		StorageSieveScatterOffby,
 		TCIOTwoPhaseDropIntent,
+		DelegateDropQueuedFlush,
 	}
 }

@@ -1,0 +1,118 @@
+package tcio
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tcio/tcio/internal/faults"
+)
+
+// TestConfigNormalize walks every Config field through its zero-default
+// and its invalid-value rejection, row by row.
+func TestConfigNormalize(t *testing.T) {
+	const stripe = int64(1 << 20)
+	cases := []struct {
+		name string
+		in   Config
+		want func(Config) bool // post-normalization invariant
+		err  string            // "" = must succeed
+	}{
+		{
+			name: "zero value defaults every field",
+			in:   Config{},
+			want: func(c Config) bool {
+				return c.SegmentSize == stripe && c.NumSegments == 64 &&
+					c.FetchBatch == 64 && c.PipelineDepth == 8 &&
+					c.WriteBehindQueue == 32 && c.DrainWorkers == 0 &&
+					c.PrefetchSegments == 0 && c.MaxCachedSegments == 0 &&
+					c.SieveBuffer == 0 && c.WriteBehindThreshold == 0
+			},
+		},
+		{
+			name: "explicit values survive",
+			in: Config{SegmentSize: 128, NumSegments: 3, FetchBatch: 2,
+				PipelineDepth: 1, WriteBehindQueue: 5, DrainWorkers: 4,
+				PrefetchSegments: 2, MaxCachedSegments: 7, SieveBuffer: 64},
+			want: func(c Config) bool {
+				return c.SegmentSize == 128 && c.NumSegments == 3 &&
+					c.FetchBatch == 2 && c.PipelineDepth == 1 &&
+					c.WriteBehindQueue == 5 && c.DrainWorkers == 4 &&
+					c.PrefetchSegments == 2 && c.MaxCachedSegments == 7 &&
+					c.SieveBuffer == 64
+			},
+		},
+		{
+			name: "max cached segments defaults to prefetch lookahead",
+			in:   Config{PrefetchSegments: 3},
+			want: func(c Config) bool { return c.MaxCachedSegments == 3 },
+		},
+		{
+			name: "cache smaller than lookahead is raised to it",
+			in:   Config{PrefetchSegments: 4, MaxCachedSegments: 2},
+			want: func(c Config) bool { return c.MaxCachedSegments == 4 },
+		},
+		{
+			name: "write-behind threshold bounds pass",
+			in:   Config{WriteBehindThreshold: 1},
+			want: func(c Config) bool { return c.WriteBehindThreshold == 1 },
+		},
+		{name: "negative segment size", in: Config{SegmentSize: -1}, err: "segment size"},
+		{name: "negative segment count", in: Config{NumSegments: -2}, err: "segment count"},
+		{name: "negative drain workers", in: Config{DrainWorkers: -1}, err: "drain workers"},
+		{name: "negative fetch batch", in: Config{FetchBatch: -1}, err: "fetch batch"},
+		{name: "negative pipeline depth", in: Config{PipelineDepth: -3}, err: "pipeline depth"},
+		{name: "negative write-behind queue", in: Config{WriteBehindQueue: -1}, err: "write-behind queue"},
+		{name: "negative prefetch segments", in: Config{PrefetchSegments: -1}, err: "prefetch segments"},
+		{name: "negative max cached segments", in: Config{MaxCachedSegments: -4}, err: "max cached segments"},
+		{name: "negative sieve buffer", in: Config{SieveBuffer: -8}, err: "sieve buffer"},
+		{name: "threshold below zero", in: Config{WriteBehindThreshold: -0.1}, err: "write-behind threshold"},
+		{name: "threshold above one", in: Config{WriteBehindThreshold: 1.5}, err: "write-behind threshold"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.in.Normalize(stripe)
+			if tc.err != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("Normalize(%+v) err = %v, want mention of %q", tc.in, err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Normalize(%+v): %v", tc.in, err)
+			}
+			if !tc.want(got) {
+				t.Fatalf("Normalize(%+v) = %+v violates invariant", tc.in, got)
+			}
+		})
+	}
+}
+
+// TestConfigNormalizeIdempotent pins that normalizing twice is a no-op —
+// the property the delegation client relies on when it re-normalizes a
+// config the caller may already have normalized.
+func TestConfigNormalizeIdempotent(t *testing.T) {
+	once, err := Config{PrefetchSegments: 2}.Normalize(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := once.Normalize(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if once != twice {
+		t.Fatalf("second Normalize changed the config:\nonce  %+v\ntwice %+v", once, twice)
+	}
+}
+
+// TestConfigRetryPolicy covers the Retry knob's nil-default resolution.
+func TestConfigRetryPolicy(t *testing.T) {
+	var cfg Config
+	if got, want := cfg.retryPolicy(), faults.DefaultRetryPolicy(); got != want {
+		t.Fatalf("nil Retry resolved to %+v, want default %+v", got, want)
+	}
+	zero := &faults.RetryPolicy{}
+	cfg.Retry = zero
+	if got := cfg.retryPolicy(); got != *zero {
+		t.Fatalf("explicit zero-budget Retry resolved to %+v", got)
+	}
+}

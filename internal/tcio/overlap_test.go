@@ -305,7 +305,7 @@ func TestEpochEvictionLRU(t *testing.T) {
 // entry whose segment still has undrained runs must survive eviction, and
 // when every entry is dirty the incoming entry is dropped instead.
 func TestPrefetchEvictRefusesDirty(t *testing.T) {
-	f := &File{
+	f := &File{session: session{
 		cfg: Config{MaxCachedSegments: 2},
 		meta: &l2meta{
 			dirty:     make(map[int64][]extent.Extent),
@@ -314,7 +314,7 @@ func TestPrefetchEvictRefusesDirty(t *testing.T) {
 			arrival:   make(map[int64]simtime.Time),
 		},
 		prefetched: make(map[int64]*prefetchEntry),
-	}
+	}}
 	f.meta.addDirty(1, []extent.Extent{{Off: 0, Len: 4}}, 0)
 	f.insertPrefetched(1, &prefetchEntry{data: []byte{1}})
 	f.insertPrefetched(2, &prefetchEntry{data: []byte{2}})

@@ -1,0 +1,203 @@
+package tcio
+
+// The per-file session. Until the delegation refactor, tcio.File carried a
+// one-file assumption: every piece of engine state — the level-1 buffer,
+// the level-2 window and its shared metadata, the write-behind and
+// prefetch lanes, the lazy read queue, the stats ledger — lived directly
+// on the handle struct, and nothing separated "state of this open file"
+// from "state of this handle". session is that separation: one rank may
+// hold many concurrently open files, each an independent session with its
+// own window memory, shared metadata (SharedOnce hands every collective
+// Open a fresh instance), background lanes, and counters. File is now a
+// thin handle — a file pointer and a closed flag — over its session.
+
+import (
+	"fmt"
+
+	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/faults"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/netsim"
+	"github.com/tcio/tcio/internal/simtime"
+	"github.com/tcio/tcio/internal/storage"
+)
+
+// session is the per-file engine state of one open TCIO file on one rank.
+// Two sessions on the same rank share nothing but the communicator: their
+// windows, drain lanes, prefetch caches, and stats ledgers are fully
+// independent, so interleaving I/O on concurrently open files cannot
+// cross-contaminate counters or staged data.
+type session struct {
+	c    *mpi.Comm
+	cfg  Config
+	mode Mode
+	name string
+
+	// layout is the round-robin offset mapping of equations (1)-(3).
+	layout   extent.Layout
+	segSize  int64
+	numSeg   int
+	pieceCPU simtime.Duration // per-piece library processing cost
+	retry    faults.RetryPolicy
+
+	win  *mpi.Win
+	meta *l2meta
+	// agg is the node-shared deposit staging of the aggregation tier;
+	// aggEnabled arms the tier (NodeAggregation on a multi-core machine —
+	// a global predicate, identical on every rank, because Flush/Close
+	// insert an extra collective when it holds).
+	agg        *aggStaging
+	aggEnabled bool
+	// store is the file system access path: drain, populate, and preload
+	// batches go through it for retry, tracing, virtual-time charging, and
+	// the per-OST worker fan-out.
+	store *storage.Client
+
+	// Level-1 buffer (write mode).
+	l1Seg    int64 // aligned global segment; -1 when empty
+	l1Buf    []byte
+	l1Blocks []extent.Extent // segment-relative cached runs
+	// openOwners lists the targets with an open shared put epoch, in
+	// least-recently-used order (front = coldest, evicted first).
+	openOwners []int
+	// inflight is the window of outstanding Rput handles; PipelineDepth
+	// bounds its length, retiring the oldest transfer when full.
+	inflight []*mpi.PutHandle
+	// shipCount numbers this rank's one-sided shipments; it keys the
+	// deterministic fault rolls of the put path.
+	shipCount int64
+
+	// Write-behind lane (WriteBehindThreshold > 0): laneFree is when the
+	// background drain lane frees up, outstanding the completion times of
+	// enqueued eager batches, busy/waited the accounting behind
+	// Stats.OverlapSaved.
+	wbLaneFree    simtime.Time
+	wbOutstanding []simtime.Time
+	wbBusy        simtime.Duration
+	wbWaited      simtime.Duration
+
+	// Reused staging buffers (plain memory, outside the simulated-memory
+	// accountant — see drain.go): popBuf stages demand populations, wbArena
+	// stages one write-behind batch's run snapshots.
+	popBuf  []byte
+	wbArena []byte
+
+	// Prefetch lane (PrefetchSegments > 0): segment staging buffers read
+	// ahead of demand, keyed by global segment, in LRU insertion order.
+	prefetched  map[int64]*prefetchEntry
+	prefetchLRU []int64
+	pfLaneFree  simtime.Time
+
+	// Lazy read queue. pendingSeg is the most recent segment touched;
+	// pendingDistinct counts the distinct segments queued, which triggers
+	// an implicit Fetch at the FetchBatch threshold.
+	pending         []readReq
+	pendingSeg      int64
+	pendingDistinct int
+	// postFetch hooks run after the next completed Fetch — used by typed
+	// reads to unpack staged bytes into the caller's layout.
+	postFetch []func()
+
+	stats Stats
+}
+
+// newSession builds the per-file engine state: window and level-1 memory
+// charged to the rank's simulated share, the collective shared metadata,
+// and the storage access path. cfg must already be normalized.
+func newSession(c *mpi.Comm, name string, mode Mode, cfg Config) (session, error) {
+	// Level-2 window memory: NumSegments segments of SegmentSize each.
+	winBuf, err := c.Malloc(int64(cfg.NumSegments) * cfg.SegmentSize)
+	if err != nil {
+		return session{}, fmt.Errorf("tcio: level-2 buffer: %w", err)
+	}
+	// Level-1 buffer: exactly one segment (paper §IV.A: "we set them to be
+	// equal, and each level-1 buffer is aligned with one level-2 segment").
+	l1, err := c.Malloc(cfg.SegmentSize)
+	if err != nil {
+		c.Free(winBuf)
+		return session{}, fmt.Errorf("tcio: level-1 buffer: %w", err)
+	}
+	win, err := c.WinCreate(winBuf)
+	if err != nil {
+		return session{}, err
+	}
+	type sharedState struct {
+		meta *l2meta
+		agg  *aggStaging
+	}
+	// SharedOnce is a fresh collective per call, so every Open — including
+	// a second or third concurrent one on the same communicator — gets its
+	// own l2meta and aggregation staging.
+	shared, err := c.SharedOnce(func() interface{} {
+		return &sharedState{
+			meta: &l2meta{
+				dirty:     make(map[int64][]extent.Extent),
+				pending:   make(map[int64][]extent.Extent),
+				populated: make(map[int64]bool),
+				popRuns:   make(map[int64][]extent.Extent),
+				arrival:   make(map[int64]simtime.Time),
+			},
+			agg: newAggStaging(),
+		}
+	})
+	if err != nil {
+		return session{}, err
+	}
+	ss := shared.(*sharedState)
+	retry := cfg.retryPolicy()
+	store := storage.NewClient(c.FS().Open(name), c.Node(), c.Rank(), c)
+	store.SetRetryPolicy(retry)
+	store.SetTrace(cfg.Trace)
+	store.SetWorkers(cfg.DrainWorkers)
+	s := session{
+		c:       c,
+		cfg:     cfg,
+		mode:    mode,
+		name:    name,
+		layout:  extent.Layout{P: c.Size(), SegSize: cfg.SegmentSize, NumSeg: cfg.NumSegments},
+		segSize: cfg.SegmentSize,
+		numSeg:  cfg.NumSegments,
+		win:     win,
+		meta:    ss.meta,
+		agg:     ss.agg,
+		store:   store,
+		retry:   retry,
+		l1Seg:   -1,
+		l1Buf:   l1,
+		// Each POSIX-like call costs library CPU (offset mapping, block
+		// bookkeeping, copies). Scaled runs stand for ByteScale times as
+		// many pieces, so the charge scales accordingly. Reads are cheaper:
+		// lazy recording touches no data until Fetch.
+		pieceCPU: simtime.Duration(150) * simtime.Duration(c.Machine().ByteScale),
+	}
+	if mode == ReadMode {
+		s.pieceCPU = simtime.Duration(60) * simtime.Duration(c.Machine().ByteScale)
+	}
+	if cfg.EmulateTwoSided {
+		win.SetClass(netsim.TwoSided)
+	}
+	// The aggregation tier arms only when a node can host more than one
+	// rank — a property of the machine, not of any particular rank, so all
+	// ranks agree on the collective structure of Flush and Close. With one
+	// core per node (or a single rank) the predicate is false and the ship
+	// path is today's, bit for bit.
+	s.aggEnabled = cfg.NodeAggregation && c.Machine().CoresPerNode > 1 && c.Size() > 1
+	if cfg.PrefetchSegments > 0 {
+		// Plain staging memory, like populate's: the cache is transient
+		// library scratch, deliberately outside the simulated-memory
+		// accountant so arming prefetch cannot shift the per-rank
+		// allocation fault stream (see DESIGN.md §2b).
+		s.prefetched = make(map[int64]*prefetchEntry)
+	}
+	s.pendingSeg = -1
+	return s, nil
+}
+
+// release returns the session's accounted memory (Close calls it).
+func (s *session) release() {
+	s.c.Free(s.win.Local())
+	s.c.Free(s.l1Buf)
+}
+
+// Name reports the file name the session is bound to.
+func (s *session) Name() string { return s.name }

@@ -42,12 +42,8 @@ import (
 	"errors"
 	"fmt"
 
-	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
-	"github.com/tcio/tcio/internal/netsim"
-	"github.com/tcio/tcio/internal/simtime"
-	"github.com/tcio/tcio/internal/storage"
 	"github.com/tcio/tcio/internal/trace"
 )
 
@@ -215,229 +211,37 @@ var (
 	ErrUnfetched = errors.New("tcio: pending reads not fetched")
 )
 
-// File is one rank's TCIO handle on a shared file.
+// File is one rank's TCIO handle on a shared file: a file pointer and a
+// closed flag over the per-file session (see session.go). A rank may hold
+// any number of concurrently open Files; each one's session — window
+// memory, shared level-2 metadata, background lanes, stats — is fully
+// independent of the others'.
 type File struct {
-	c    *mpi.Comm
-	cfg  Config
-	mode Mode
-	name string
-
-	// layout is the round-robin offset mapping of equations (1)-(3).
-	layout   extent.Layout
-	segSize  int64
-	numSeg   int
-	pieceCPU simtime.Duration // per-piece library processing cost
-	retry    faults.RetryPolicy
-
-	win  *mpi.Win
-	meta *l2meta
-	// agg is the node-shared deposit staging of the aggregation tier;
-	// aggEnabled arms the tier (NodeAggregation on a multi-core machine —
-	// a global predicate, identical on every rank, because Flush/Close
-	// insert an extra collective when it holds).
-	agg        *aggStaging
-	aggEnabled bool
-	// store is the file system access path: drain, populate, and preload
-	// batches go through it for retry, tracing, virtual-time charging, and
-	// the per-OST worker fan-out.
-	store *storage.Client
+	session
 
 	pos    int64
 	closed bool
-
-	// Level-1 buffer (write mode).
-	l1Seg    int64 // aligned global segment; -1 when empty
-	l1Buf    []byte
-	l1Blocks []extent.Extent // segment-relative cached runs
-	// openOwners lists the targets with an open shared put epoch, in
-	// least-recently-used order (front = coldest, evicted first).
-	openOwners []int
-	// inflight is the window of outstanding Rput handles; PipelineDepth
-	// bounds its length, retiring the oldest transfer when full.
-	inflight []*mpi.PutHandle
-	// shipCount numbers this rank's one-sided shipments; it keys the
-	// deterministic fault rolls of the put path.
-	shipCount int64
-
-	// Write-behind lane (WriteBehindThreshold > 0): laneFree is when the
-	// background drain lane frees up, outstanding the completion times of
-	// enqueued eager batches, busy/waited the accounting behind
-	// Stats.OverlapSaved.
-	wbLaneFree    simtime.Time
-	wbOutstanding []simtime.Time
-	wbBusy        simtime.Duration
-	wbWaited      simtime.Duration
-
-	// Reused staging buffers (plain memory, outside the simulated-memory
-	// accountant — see drain.go): popBuf stages demand populations, wbArena
-	// stages one write-behind batch's run snapshots.
-	popBuf  []byte
-	wbArena []byte
-
-	// Prefetch lane (PrefetchSegments > 0): segment staging buffers read
-	// ahead of demand, keyed by global segment, in LRU insertion order.
-	prefetched  map[int64]*prefetchEntry
-	prefetchLRU []int64
-	pfLaneFree  simtime.Time
-
-	// Lazy read queue. pendingSeg is the most recent segment touched;
-	// pendingDistinct counts the distinct segments queued, which triggers
-	// an implicit Fetch at the FetchBatch threshold.
-	pending         []readReq
-	pendingSeg      int64
-	pendingDistinct int
-	// postFetch hooks run after the next completed Fetch — used by typed
-	// reads to unpack staged bytes into the caller's layout.
-	postFetch []func()
-
-	stats Stats
 }
 
 // Open starts a TCIO session on the named shared file. It is collective:
-// every rank must call it with the same name, mode, and configuration.
+// every rank must call it with the same name, mode, and configuration —
+// and when several files are open concurrently, every rank must issue
+// their collective calls (Open, Flush, Fetch, Close) in the same order.
 // Window memory (NumSegments * SegmentSize) plus one level-1 buffer is
 // charged against the rank's simulated memory share.
 func Open(c *mpi.Comm, name string, mode Mode, cfg Config) (*File, error) {
 	if mode != WriteMode && mode != ReadMode {
 		return nil, fmt.Errorf("tcio: invalid mode %d", int(mode))
 	}
-	if cfg.SegmentSize == 0 {
-		cfg.SegmentSize = c.FS().Config().StripeSize
-	}
-	if cfg.SegmentSize < 1 {
-		return nil, fmt.Errorf("tcio: segment size %d", cfg.SegmentSize)
-	}
-	if cfg.NumSegments == 0 {
-		cfg.NumSegments = 64
-	}
-	if cfg.NumSegments < 1 {
-		return nil, fmt.Errorf("tcio: %d segments", cfg.NumSegments)
-	}
-	if cfg.FetchBatch == 0 {
-		cfg.FetchBatch = 64
-	}
-	if cfg.FetchBatch < 1 {
-		return nil, fmt.Errorf("tcio: fetch batch %d", cfg.FetchBatch)
-	}
-	if cfg.PipelineDepth == 0 {
-		cfg.PipelineDepth = 8
-	}
-	if cfg.PipelineDepth < 1 {
-		return nil, fmt.Errorf("tcio: pipeline depth %d", cfg.PipelineDepth)
-	}
-	if cfg.DrainWorkers < 0 {
-		return nil, fmt.Errorf("tcio: drain workers %d", cfg.DrainWorkers)
-	}
-	if cfg.WriteBehindThreshold < 0 || cfg.WriteBehindThreshold > 1 {
-		return nil, fmt.Errorf("tcio: write-behind threshold %g", cfg.WriteBehindThreshold)
-	}
-	if cfg.WriteBehindQueue == 0 {
-		cfg.WriteBehindQueue = 32
-	}
-	if cfg.WriteBehindQueue < 1 {
-		return nil, fmt.Errorf("tcio: write-behind queue %d", cfg.WriteBehindQueue)
-	}
-	if cfg.PrefetchSegments < 0 {
-		return nil, fmt.Errorf("tcio: prefetch segments %d", cfg.PrefetchSegments)
-	}
-	if cfg.MaxCachedSegments == 0 {
-		cfg.MaxCachedSegments = cfg.PrefetchSegments
-	}
-	if cfg.MaxCachedSegments < 0 {
-		return nil, fmt.Errorf("tcio: max cached segments %d", cfg.MaxCachedSegments)
-	}
-	if cfg.MaxCachedSegments < cfg.PrefetchSegments {
-		cfg.MaxCachedSegments = cfg.PrefetchSegments
-	}
-	if cfg.SieveBuffer < 0 {
-		return nil, fmt.Errorf("tcio: sieve buffer %d", cfg.SieveBuffer)
-	}
-	retry := faults.DefaultRetryPolicy()
-	if cfg.Retry != nil {
-		retry = *cfg.Retry
-	}
-
-	// Level-2 window memory: NumSegments segments of SegmentSize each.
-	winBuf, err := c.Malloc(int64(cfg.NumSegments) * cfg.SegmentSize)
-	if err != nil {
-		return nil, fmt.Errorf("tcio: level-2 buffer: %w", err)
-	}
-	// Level-1 buffer: exactly one segment (paper §IV.A: "we set them to be
-	// equal, and each level-1 buffer is aligned with one level-2 segment").
-	l1, err := c.Malloc(cfg.SegmentSize)
-	if err != nil {
-		c.Free(winBuf)
-		return nil, fmt.Errorf("tcio: level-1 buffer: %w", err)
-	}
-	win, err := c.WinCreate(winBuf)
+	cfg, err := cfg.Normalize(c.FS().Config().StripeSize)
 	if err != nil {
 		return nil, err
 	}
-	type sharedState struct {
-		meta *l2meta
-		agg  *aggStaging
-	}
-	shared, err := c.SharedOnce(func() interface{} {
-		return &sharedState{
-			meta: &l2meta{
-				dirty:     make(map[int64][]extent.Extent),
-				pending:   make(map[int64][]extent.Extent),
-				populated: make(map[int64]bool),
-				popRuns:   make(map[int64][]extent.Extent),
-				arrival:   make(map[int64]simtime.Time),
-			},
-			agg: newAggStaging(),
-		}
-	})
+	s, err := newSession(c, name, mode, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ss := shared.(*sharedState)
-	store := storage.NewClient(c.FS().Open(name), c.Node(), c.Rank(), c)
-	store.SetRetryPolicy(retry)
-	store.SetTrace(cfg.Trace)
-	store.SetWorkers(cfg.DrainWorkers)
-	f := &File{
-		c:       c,
-		cfg:     cfg,
-		mode:    mode,
-		name:    name,
-		layout:  extent.Layout{P: c.Size(), SegSize: cfg.SegmentSize, NumSeg: cfg.NumSegments},
-		segSize: cfg.SegmentSize,
-		numSeg:  cfg.NumSegments,
-		win:     win,
-		meta:    ss.meta,
-		agg:     ss.agg,
-		store:   store,
-		retry:   retry,
-		l1Seg:   -1,
-		l1Buf:   l1,
-		// Each POSIX-like call costs library CPU (offset mapping, block
-		// bookkeeping, copies). Scaled runs stand for ByteScale times as
-		// many pieces, so the charge scales accordingly. Reads are cheaper:
-		// lazy recording touches no data until Fetch.
-		pieceCPU: simtime.Duration(150) * simtime.Duration(c.Machine().ByteScale),
-	}
-	if mode == ReadMode {
-		f.pieceCPU = simtime.Duration(60) * simtime.Duration(c.Machine().ByteScale)
-	}
-	if cfg.EmulateTwoSided {
-		win.SetClass(netsim.TwoSided)
-	}
-	// The aggregation tier arms only when a node can host more than one
-	// rank — a property of the machine, not of any particular rank, so all
-	// ranks agree on the collective structure of Flush and Close. With one
-	// core per node (or a single rank) the predicate is false and the ship
-	// path is today's, bit for bit.
-	f.aggEnabled = cfg.NodeAggregation && c.Machine().CoresPerNode > 1 && c.Size() > 1
-	if cfg.PrefetchSegments > 0 {
-		// Plain staging memory, like populate's: the cache is transient
-		// library scratch, deliberately outside the simulated-memory
-		// accountant so arming prefetch cannot shift the per-rank
-		// allocation fault stream (see DESIGN.md §2b).
-		f.prefetched = make(map[int64]*prefetchEntry)
-	}
-	f.pendingSeg = -1
+	f := &File{session: s}
 	if mode == ReadMode && !cfg.DemandPopulate {
 		if err := f.preloadAll(); err != nil {
 			return nil, err
@@ -545,7 +349,6 @@ func (f *File) Close() error {
 		return err
 	}
 	f.closed = true
-	f.c.Free(f.win.Local())
-	f.c.Free(f.l1Buf)
+	f.release()
 	return opErr
 }
