@@ -16,6 +16,8 @@
 //	tciobench -sieve -chaos      # sieved reads under faults (counts-only table)
 //	tciobench -delegate          # I/O delegation sweep (servers x files x request size)
 //	tciobench -delegate -chaos   # delegation under faults (counts-only table)
+//	tciobench -scale             # host wall-clock scale sweep (ranks x GOMAXPROCS)
+//	tciobench -scale -scale-procs 64 -scale-maxprocs 2   # one small scale point
 //	tciobench -overlap -json results/BENCH_pr3.json   # machine-readable results
 //	tciobench -conform -seed 1 -progs 64   # randomized differential conformance sweep
 //	tciobench -all               # everything
@@ -41,32 +43,37 @@ import (
 
 func main() {
 	var (
-		fig5      = flag.Bool("fig5", false, "regenerate Figure 5 (throughput vs processes)")
-		fig6      = flag.Bool("fig6", false, "regenerate Figure 6 (write throughput vs file size)")
-		fig7      = flag.Bool("fig7", false, "regenerate Figure 7 (read throughput vs file size)")
-		tables    = flag.Bool("tables", false, "print Tables I, II and III")
-		ablations = flag.Bool("ablations", false, "run the TCIO design-choice ablations")
-		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep")
-		dsweep    = flag.Bool("drainsweep", false, "sweep TCIO drain fan-out on a multi-OST stripe")
-		overlap   = flag.Bool("overlap", false, "sweep write-behind and read-prefetch overlap settings")
-		nodeagg   = flag.Bool("nodeagg", false, "sweep intra-node aggregation (cores/node x segment size)")
-		sieve     = flag.Bool("sieve", false, "sweep the noncontiguous read engine (sieve budget x hole density x interleave granule)")
-		delegate  = flag.Bool("delegate", false, "sweep the I/O delegation tier (server ranks x open files x request size)")
-		jsonPath  = flag.String("json", "", "also write -overlap results as JSON to this path")
-		all       = flag.Bool("all", false, "run everything")
-		procs     = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
-		lenSim    = flag.Int("len-sim", 4<<20, "simulated LENarray (elements per array per process)")
-		lenReal   = flag.Int("len-real", 4<<10, "materialized elements per array per process")
-		seed      = flag.Int64("seed", 1, "fault-injection seed for -chaos")
-		rates     = flag.String("chaos-rates", "0,0.01,0.05", "comma-separated OST transient-error rates for -chaos")
-		cprocs    = flag.Int("chaos-procs", 64, "process count for -chaos")
-		dworkers  = flag.Int("drain-workers", 0, "TCIO drain fan-out for -chaos runs (0 or 1 = serial)")
-		verify    = flag.Bool("verify", true, "verify every byte on read-back")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		quiet     = flag.Bool("quiet", false, "suppress progress lines")
-		conform   = flag.Bool("conform", false, "run the randomized differential conformance sweep (uses -seed, -progs, -corpus)")
-		progs     = flag.Int("progs", 32, "number of generated programs for -conform")
-		corpus    = flag.String("corpus", "", "directory receiving shrunk repros of -conform divergences")
+		fig5       = flag.Bool("fig5", false, "regenerate Figure 5 (throughput vs processes)")
+		fig6       = flag.Bool("fig6", false, "regenerate Figure 6 (write throughput vs file size)")
+		fig7       = flag.Bool("fig7", false, "regenerate Figure 7 (read throughput vs file size)")
+		tables     = flag.Bool("tables", false, "print Tables I, II and III")
+		ablations  = flag.Bool("ablations", false, "run the TCIO design-choice ablations")
+		chaos      = flag.Bool("chaos", false, "run the fault-injection chaos sweep")
+		dsweep     = flag.Bool("drainsweep", false, "sweep TCIO drain fan-out on a multi-OST stripe")
+		overlap    = flag.Bool("overlap", false, "sweep write-behind and read-prefetch overlap settings")
+		nodeagg    = flag.Bool("nodeagg", false, "sweep intra-node aggregation (cores/node x segment size)")
+		sieve      = flag.Bool("sieve", false, "sweep the noncontiguous read engine (sieve budget x hole density x interleave granule)")
+		delegate   = flag.Bool("delegate", false, "sweep the I/O delegation tier (server ranks x open files x request size)")
+		scale      = flag.Bool("scale", false, "sweep host wall-clock scalability (simulated ranks x GOMAXPROCS)")
+		scProcs    = flag.String("scale-procs", "64,256,1024,4096", "comma-separated rank counts for -scale")
+		scMaxprocs = flag.String("scale-maxprocs", "1,2,4,8", "comma-separated GOMAXPROCS settings for -scale")
+		scPieces   = flag.Int("scale-pieces", 32, "strided pieces per rank for -scale")
+		scProfiles = flag.Bool("scale-profiles", true, "capture mutex/block profile top entries for -scale")
+		jsonPath   = flag.String("json", "", "also write -overlap results as JSON to this path")
+		all        = flag.Bool("all", false, "run everything")
+		procs      = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
+		lenSim     = flag.Int("len-sim", 4<<20, "simulated LENarray (elements per array per process)")
+		lenReal    = flag.Int("len-real", 4<<10, "materialized elements per array per process")
+		seed       = flag.Int64("seed", 1, "fault-injection seed for -chaos")
+		rates      = flag.String("chaos-rates", "0,0.01,0.05", "comma-separated OST transient-error rates for -chaos")
+		cprocs     = flag.Int("chaos-procs", 64, "process count for -chaos")
+		dworkers   = flag.Int("drain-workers", 0, "TCIO drain fan-out for -chaos runs (0 or 1 = serial)")
+		verify     = flag.Bool("verify", true, "verify every byte on read-back")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet      = flag.Bool("quiet", false, "suppress progress lines")
+		conform    = flag.Bool("conform", false, "run the randomized differential conformance sweep (uses -seed, -progs, -corpus)")
+		progs      = flag.Int("progs", 32, "number of generated programs for -conform")
+		corpus     = flag.String("corpus", "", "directory receiving shrunk repros of -conform divergences")
 	)
 	flag.Parse()
 	if *conform {
@@ -76,6 +83,48 @@ func main() {
 			os.Exit(1)
 		}
 		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *scale {
+		sopts := bench.DefaultScale()
+		sopts.PiecesPerRank = *scPieces
+		sopts.Profiles = *scProfiles
+		sopts.Verify = *verify
+		if !*quiet {
+			sopts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ", line) }
+		}
+		var err error
+		if sopts.Procs, err = parseProcs(*scProcs); err == nil {
+			sopts.GoMaxProcs, err = parseProcs(*scMaxprocs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tciobench:", err)
+			os.Exit(1)
+		}
+		t, report, err := bench.Scale(sopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tciobench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n", t.Title)
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var blob []byte
+			if blob, err = json.MarshalIndent(report, "", "  "); err == nil {
+				err = os.WriteFile(*jsonPath, append(blob, '\n'), 0o644)
+			}
+			if err == nil && !*quiet {
+				fmt.Fprintln(os.Stderr, "  ", "wrote", *jsonPath)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tciobench:", err)
 			os.Exit(1)
 		}
 		return

@@ -3,7 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math/bits"
-	"sync"
+	"sync/atomic"
 
 	"github.com/tcio/tcio/internal/simtime"
 )
@@ -14,55 +14,73 @@ import (
 // plus the collective's cost. Epochs recycle, so the barrier serves any
 // number of consecutive collectives (which, as in MPI, every rank must
 // invoke in the same order).
+//
+// The arrival path is lock-free: each rank deposits its value and clock in
+// slots it alone writes, then increments the arrival counter. The counter
+// reaching n elects the incrementing rank the combiner; it alone folds the
+// clocks, evaluates the reduction, installs the next epoch, and only then
+// closes the release channel. With thousands of rank goroutines arriving
+// nearly at once, the previous global mutex serialized every arrival; now
+// the only shared write is one atomic add per rank.
 type timeBarrier struct {
-	mu  sync.Mutex
 	n   int
-	cur *collEpoch
+	cur atomic.Pointer[collEpoch]
 }
 
 type collEpoch struct {
 	release chan struct{}
-	vals    []interface{}
-	maxT    simtime.Time
-	count   int
+	vals    []interface{}  // rank-owned deposit slots
+	times   []simtime.Time // rank-owned arrival clocks
+	arrived atomic.Int32
 	result  interface{}
 	final   simtime.Time
 }
 
 func newTimeBarrier(n int) *timeBarrier {
-	return &timeBarrier{n: n, cur: newCollEpoch(n)}
+	b := &timeBarrier{n: n}
+	b.cur.Store(newCollEpoch(n))
+	return b
 }
 
 func newCollEpoch(n int) *collEpoch {
-	return &collEpoch{release: make(chan struct{}), vals: make([]interface{}, n)}
+	return &collEpoch{
+		release: make(chan struct{}),
+		vals:    make([]interface{}, n),
+		times:   make([]simtime.Time, n),
+	}
 }
 
 // collect runs one collective. combine (may be nil) is evaluated once, by
 // the last-arriving rank; cost is the collective's virtual-time duration
 // beyond the synchronization point.
+//
+// Epoch lifetime: a rank can only reach epoch k+1 after being released from
+// epoch k, and the combiner installs k+1 before closing k's release channel,
+// so the pointer loaded here is always the epoch this rank's collective
+// belongs to. The atomic add orders each rank's slot writes before the
+// combiner's reads; the channel close orders the combiner's result/final
+// writes before the waiters' reads.
 func (c *Comm) collect(val interface{}, combine func([]interface{}) interface{}, cost simtime.Duration) (interface{}, error) {
 	if err := c.abortedErr(); err != nil {
 		return nil, err
 	}
 	b := c.w.barrier
-	b.mu.Lock()
-	e := b.cur
+	e := b.cur.Load()
 	e.vals[c.rank] = val
-	if now := c.clock().Now(); now > e.maxT {
-		e.maxT = now
-	}
-	e.count++
-	last := e.count == b.n
-	if last {
-		b.cur = newCollEpoch(b.n)
-	}
-	b.mu.Unlock()
+	e.times[c.rank] = c.clock().Now()
 
-	if last {
+	if int(e.arrived.Add(1)) == b.n {
+		maxT := e.times[0]
+		for _, t := range e.times[1:] {
+			if t > maxT {
+				maxT = t
+			}
+		}
 		if combine != nil {
 			e.result = combine(e.vals)
 		}
-		e.final = e.maxT.Add(cost)
+		e.final = maxT.Add(cost)
+		b.cur.Store(newCollEpoch(b.n))
 		close(e.release)
 	} else {
 		select {

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"github.com/tcio/tcio/internal/netsim"
@@ -12,29 +13,187 @@ import (
 type envelope struct {
 	src     int
 	tag     int
+	seq     uint64 // mailbox-wide deposit order, stamped by deposit
 	data    []byte
 	arrival simtime.Time // virtual instant the last byte reaches the receiver
 }
 
-// mailbox holds a rank's unmatched inbound messages. Matching is FIFO per
-// (source, tag), as MPI requires.
+// msgQueue is the FIFO of unmatched messages for one (source, tag) pair —
+// a slice with a head index, compacted whenever it drains, so steady-state
+// traffic reuses one backing array instead of reallocating per message.
+type msgQueue struct {
+	head int
+	envs []envelope
+}
+
+func (q *msgQueue) empty() bool      { return q.head == len(q.envs) }
+func (q *msgQueue) front() *envelope { return &q.envs[q.head] }
+
+func (q *msgQueue) push(e envelope) {
+	if q.head > 32 && q.head*2 >= len(q.envs) {
+		// Reclaim the consumed prefix so a queue that never fully drains
+		// cannot grow its backing array without bound.
+		n := copy(q.envs, q.envs[q.head:])
+		for i := n; i < len(q.envs); i++ {
+			q.envs[i] = envelope{}
+		}
+		q.envs = q.envs[:n]
+		q.head = 0
+	}
+	q.envs = append(q.envs, e)
+}
+
+func (q *msgQueue) pop() envelope {
+	e := q.envs[q.head]
+	q.envs[q.head] = envelope{} // drop the payload reference
+	q.head++
+	if q.head == len(q.envs) {
+		q.head = 0
+		q.envs = q.envs[:0]
+	}
+	return e
+}
+
+// srcTag is the mailbox index key.
+type srcTag struct{ src, tag int }
+
+// wildEntry records one deposit in a wildcard side-list: which queue it
+// went to, and its mailbox-wide sequence number. An entry whose seq no
+// longer matches its queue's front was consumed through another path and
+// is skipped (and discarded) when encountered — lazy deletion.
+type wildEntry struct {
+	key srcTag
+	seq uint64
+}
+
+// keyList is a FIFO of wildEntry with the same head-index compaction as
+// msgQueue.
+type keyList struct {
+	head int
+	ents []wildEntry
+}
+
+func (l *keyList) empty() bool      { return l.head == len(l.ents) }
+func (l *keyList) front() wildEntry { return l.ents[l.head] }
+
+func (l *keyList) push(e wildEntry) {
+	if l.head > 32 && l.head*2 >= len(l.ents) {
+		n := copy(l.ents, l.ents[l.head:])
+		l.ents = l.ents[:n]
+		l.head = 0
+	}
+	l.ents = append(l.ents, e)
+}
+
+func (l *keyList) pop() {
+	l.head++
+	if l.head == len(l.ents) {
+		l.head = 0
+		l.ents = l.ents[:0]
+	}
+}
+
+// mailbox holds a rank's unmatched inbound messages, indexed by
+// (source, tag). Matching is FIFO per (source, tag), as MPI requires; a
+// fully specified receive finds its queue in O(1) instead of scanning every
+// buffered message. Wildcard receives (AnySource/AnyTag) pop from
+// deposit-ordered side-lists — per tag, per source, and global, one for
+// each wildcard shape — whose entries go stale when an exact receive
+// consumes the message first; stale entries are discarded lazily at the
+// list heads. Every receive shape is amortized O(1), and the sequence
+// stamps keep the drain order exactly what a single flat queue would have
+// produced: FIFO per pair, deposit order across pairs.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
-	queue []envelope
+	seq   uint64
+	keyed map[srcTag]*msgQueue
+	// The side-lists are maintained only once a wildcard receive has been
+	// posted (wild): ranks that only ever match exactly — the two-phase
+	// exchange hot path — pay nothing for them. The first wildcard take
+	// rebuilds them from the buffered queues.
+	wild  bool
+	byTag map[int]*keyList // for (AnySource, tag) receives
+	bySrc map[int]*keyList // for (src, AnyTag) receives
+	all   keyList          // for (AnySource, AnyTag) receives
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{}
+	m := &mailbox{keyed: make(map[srcTag]*msgQueue)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
+// trimStale discards consumed entries at the list head. The head entry is
+// live exactly when its queue's front carries its seq: per-pair FIFO means
+// any smaller seq of that pair was deposited earlier, so a front seq that
+// moved past the entry's proves the entry's message is gone.
+func (m *mailbox) trimStale(l *keyList) {
+	for !l.empty() {
+		e := l.front()
+		if q := m.keyed[e.key]; q != nil && !q.empty() && q.front().seq == e.seq {
+			return
+		}
+		l.pop()
+	}
+}
+
 func (m *mailbox) deposit(e envelope) {
 	m.mu.Lock()
-	m.queue = append(m.queue, e)
+	e.seq = m.seq
+	m.seq++
+	key := srcTag{e.src, e.tag}
+	q := m.keyed[key]
+	if q == nil {
+		q = &msgQueue{}
+		m.keyed[key] = q
+	}
+	q.push(e)
+	if m.wild {
+		m.pushWild(wildEntry{key: key, seq: e.seq})
+	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// pushWild records a deposit in all three side-lists, trimming each list's
+// stale head first so idle lists cannot accumulate consumed entries.
+func (m *mailbox) pushWild(ent wildEntry) {
+	tl := m.byTag[ent.key.tag]
+	if tl == nil {
+		tl = &keyList{}
+		m.byTag[ent.key.tag] = tl
+	}
+	m.trimStale(tl)
+	tl.push(ent)
+	sl := m.bySrc[ent.key.src]
+	if sl == nil {
+		sl = &keyList{}
+		m.bySrc[ent.key.src] = sl
+	}
+	m.trimStale(sl)
+	sl.push(ent)
+	m.trimStale(&m.all)
+	m.all.push(ent)
+}
+
+// activateWild switches the mailbox into wildcard mode, rebuilding the
+// side-lists from the currently buffered messages in deposit order. Called
+// once, under mu, by the first wildcard take.
+func (m *mailbox) activateWild() {
+	var ents []wildEntry
+	for k, q := range m.keyed {
+		for i := q.head; i < len(q.envs); i++ {
+			ents = append(ents, wildEntry{key: k, seq: q.envs[i].seq})
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].seq < ents[j].seq })
+	m.byTag = make(map[int]*keyList)
+	m.bySrc = make(map[int]*keyList)
+	m.wild = true
+	for _, ent := range ents {
+		m.pushWild(ent)
+	}
 }
 
 // take blocks until a message matching (src, tag) is available, removing
@@ -44,10 +203,32 @@ func (m *mailbox) take(src, tag int, abortedErr func() error) (envelope, error) 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, e := range m.queue {
-			if (src == AnySource || e.src == src) && (tag == AnyTag || e.tag == tag) {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return e, nil
+		if src != AnySource && tag != AnyTag {
+			if q := m.keyed[srcTag{src, tag}]; q != nil && !q.empty() {
+				return q.pop(), nil
+			}
+		} else {
+			if !m.wild {
+				m.activateWild()
+			}
+			var l *keyList
+			switch {
+			case src == AnySource && tag == AnyTag:
+				l = &m.all
+			case src == AnySource:
+				l = m.byTag[tag]
+			default:
+				l = m.bySrc[src]
+			}
+			if l != nil {
+				m.trimStale(l)
+				if !l.empty() {
+					// A live head entry is its queue's front, and every
+					// entry in this list matches the filter by construction.
+					e := l.front()
+					l.pop()
+					return m.keyed[e.key].pop(), nil
+				}
 			}
 		}
 		if err := abortedErr(); err != nil {
@@ -76,17 +257,27 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // wire encodings (ROMIO ships datatype descriptors, not expanded offset
 // lists, so its exchange metadata must not be charged at payload scale).
 func (c *Comm) send(dst, tag int, data []byte, class netsim.Class, simBytes int64) error {
+	buf := getBuf(len(data))
+	copy(buf, data)
+	return c.sendStaged(dst, tag, buf, class, simBytes)
+}
+
+// sendStaged delivers an already-staged payload, taking ownership of buf —
+// the zero-copy entry for callers that encode their message directly into a
+// pooled staging buffer (the RPC layer). buf must not be touched after the
+// call; it reaches the receiver and re-enters the pool via Recycle.
+func (c *Comm) sendStaged(dst, tag int, buf []byte, class netsim.Class, simBytes int64) error {
 	if err := c.abortedErr(); err != nil {
+		recycleBuf(buf)
 		return err
 	}
 	if dst < 0 || dst >= c.w.nprocs {
+		recycleBuf(buf)
 		return fmt.Errorf("mpi: Send to rank %d of %d", dst, c.w.nprocs)
 	}
 	if simBytes < 0 {
-		simBytes = c.w.machine.Scale(int64(len(data)))
+		simBytes = c.w.machine.Scale(int64(len(buf)))
 	}
-	buf := getBuf(len(data))
-	copy(buf, data)
 	depart := c.clock().Advance(sendOverhead)
 	arrival := c.w.net.Transfer(
 		c.w.machine.NodeOf(c.rank), c.w.machine.NodeOf(dst),

@@ -77,8 +77,10 @@ const (
 	rpcMaxErr        = 1<<16 - 1
 )
 
+// encodeRequest stages the request into a pooled buffer; the caller hands
+// it to sendStaged, which owns it from then on.
 func encodeRequest(r *RPCRequest) []byte {
-	buf := make([]byte, rpcReqHeaderWire+len(r.Data))
+	buf := getBuf(rpcReqHeaderWire + len(r.Data))
 	buf[0] = byte(r.Op)
 	binary.LittleEndian.PutUint32(buf[1:], uint32(r.Handle))
 	binary.LittleEndian.PutUint64(buf[5:], uint64(r.Seq))
@@ -111,12 +113,14 @@ func decodeRequest(buf []byte) (*RPCRequest, error) {
 	return r, nil
 }
 
+// encodeReply stages the reply into a pooled buffer; see encodeRequest.
 func encodeReply(r *RPCReply) []byte {
 	errStr := r.Err
 	if len(errStr) > rpcMaxErr {
 		errStr = errStr[:rpcMaxErr]
 	}
-	buf := make([]byte, rpcRepHeaderWire+len(errStr)+len(r.Data))
+	buf := getBuf(rpcRepHeaderWire + len(errStr) + len(r.Data))
+	buf[0] = 0 // recycled buffers hold stale bytes; every byte must be set
 	if r.OK {
 		buf[0] = 1
 	}
@@ -154,7 +158,7 @@ func decodeReply(buf []byte) (*RPCReply, error) {
 // writes pay for their data while control messages stay cheap.
 func (c *Comm) SendRequest(dst, tag int, req *RPCRequest) error {
 	sim := int64(rpcReqHeaderWire) + c.w.machine.Scale(int64(len(req.Data)))
-	return c.send(dst, tag, encodeRequest(req), netsim.TwoSided, sim)
+	return c.sendStaged(dst, tag, encodeRequest(req), netsim.TwoSided, sim)
 }
 
 // RecvRequest blocks for the next request from src (AnySource for any
@@ -177,7 +181,7 @@ func (c *Comm) RecvRequest(src, tag int) (*RPCRequest, error) {
 // SendReply ships rep to rank dst on tag, billed like SendRequest.
 func (c *Comm) SendReply(dst, tag int, rep *RPCReply) error {
 	sim := int64(rpcRepHeaderWire) + c.w.machine.Scale(int64(len(rep.Data)))
-	return c.send(dst, tag, encodeReply(rep), netsim.TwoSided, sim)
+	return c.sendStaged(dst, tag, encodeReply(rep), netsim.TwoSided, sim)
 }
 
 // RecvReply blocks for a reply from src on tag.

@@ -98,10 +98,14 @@ func (f *File) flushLevel1() error {
 		return nil
 	}
 	blocks := extent.Coalesce(f.l1Blocks)
-	payload := make([]byte, 0, f.segSize)
+	if f.payloadScratch == nil {
+		f.payloadScratch = make([]byte, 0, f.segSize)
+	}
+	payload := f.payloadScratch[:0]
 	for _, b := range blocks {
 		payload = append(payload, f.l1Buf[b.Off:b.Off+b.Len]...)
 	}
+	f.payloadScratch = payload[:0]
 	err := f.ship(f.l1Seg, blocks, payload)
 	f.l1Seg = -1
 	f.l1Blocks = f.l1Blocks[:0]

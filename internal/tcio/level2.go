@@ -18,13 +18,29 @@ import (
 	"github.com/tcio/tcio/internal/trace"
 )
 
+// l2Shards is the shard count of the shared segment metadata — a power of
+// two so the shard of a segment is a mask, sized to keep collisions rare at
+// realistic worker counts without bloating small files.
+const l2Shards = 16
+
 // l2meta is the bookkeeping shared by all ranks of one TCIO file: which
 // parts of each global segment hold buffered data (dirty, writes), which of
 // those runs have not reached the file system yet (pending — the write-
 // behind lane consumes them), and which segments have been populated from
-// the file system (reads). Access is serialized by the window lock
-// discipline plus an internal mutex.
+// the file system (reads).
+//
+// Every operation touches exactly one segment, so the maps are sharded by
+// segment index: with thousands of rank goroutines shipping concurrently, a
+// single mutex in front of five maps was a global serialization point. Each
+// shard carries its own lock and maps; segments hash to shards by low bits,
+// which spreads the round-robin segment ownership evenly.
 type l2meta struct {
+	shards [l2Shards]l2shard
+}
+
+// l2shard holds the metadata of the segments hashing to one shard; see
+// l2meta for the field semantics.
+type l2shard struct {
 	mu        sync.Mutex
 	dirty     map[int64][]extent.Extent // global segment -> runs (segment-relative)
 	pending   map[int64][]extent.Extent // dirty runs not yet drained
@@ -40,34 +56,56 @@ type l2meta struct {
 	arrival map[int64]simtime.Time
 }
 
+// newL2Meta builds empty shared metadata for one open file.
+func newL2Meta() *l2meta {
+	m := &l2meta{}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.dirty = make(map[int64][]extent.Extent)
+		s.pending = make(map[int64][]extent.Extent)
+		s.populated = make(map[int64]bool)
+		s.popRuns = make(map[int64][]extent.Extent)
+		s.arrival = make(map[int64]simtime.Time)
+	}
+	return m
+}
+
+// shard returns the shard owning a global segment.
+func (m *l2meta) shard(seg int64) *l2shard {
+	return &m.shards[seg&(l2Shards-1)]
+}
+
 // addDirty records freshly shipped runs and the virtual time their put
 // retires at the target, so a drain consuming them can respect causality.
 func (m *l2meta) addDirty(seg int64, runs []extent.Extent, at simtime.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.dirty[seg] = extent.Coalesce(append(m.dirty[seg], runs...))
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirty[seg] = extent.Coalesce(append(s.dirty[seg], runs...))
 	if mutate.Enabled(mutate.TCIOLostPendingRun) {
-		m.pending[seg] = extent.Coalesce(append([]extent.Extent(nil), runs...))
+		s.pending[seg] = extent.Coalesce(append([]extent.Extent(nil), runs...))
 	} else {
-		m.pending[seg] = extent.Coalesce(append(m.pending[seg], runs...))
+		s.pending[seg] = extent.Coalesce(append(s.pending[seg], runs...))
 	}
-	if at > m.arrival[seg] {
-		m.arrival[seg] = at
+	if at > s.arrival[seg] {
+		s.arrival[seg] = at
 	}
 }
 
 func (m *l2meta) dirtyRuns(seg int64) []extent.Extent {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.dirty[seg]
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirty[seg]
 }
 
 // hasDirty reports whether the segment still has undrained runs — the
 // prefetch cache refuses to evict such segments.
 func (m *l2meta) hasDirty(seg int64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.pending[seg]) > 0
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending[seg]) > 0
 }
 
 // takePending removes and returns the segment's undrained runs and their
@@ -75,12 +113,13 @@ func (m *l2meta) hasDirty(seg int64) bool {
 // an eager drain re-enter pending, so rewrites are drained again and the
 // last bytes always win.
 func (m *l2meta) takePending(seg int64) ([]extent.Extent, simtime.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	runs := m.pending[seg]
-	at := m.arrival[seg]
-	delete(m.pending, seg)
-	delete(m.arrival, seg)
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runs := s.pending[seg]
+	at := s.arrival[seg]
+	delete(s.pending, seg)
+	delete(s.arrival, seg)
 	return runs, at
 }
 
@@ -89,29 +128,32 @@ func (m *l2meta) takePending(seg int64) ([]extent.Extent, simtime.Time) {
 // behind trigger, evaluated and consumed under one lock so two checks can
 // never drain the same runs twice.
 func (m *l2meta) takeCovered(seg int64, need int64) ([]extent.Extent, simtime.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	runs := m.pending[seg]
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runs := s.pending[seg]
 	if extent.Total(runs) < need {
 		return nil, 0
 	}
-	at := m.arrival[seg]
-	delete(m.pending, seg)
-	delete(m.arrival, seg)
+	at := s.arrival[seg]
+	delete(s.pending, seg)
+	delete(s.arrival, seg)
 	return runs, at
 }
 
 func (m *l2meta) isPopulated(seg int64) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.populated[seg]
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.populated[seg]
 }
 
 func (m *l2meta) setPopulated(seg int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.populated[seg] = true
-	delete(m.popRuns, seg)
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.populated[seg] = true
+	delete(s.popRuns, seg)
 }
 
 // missingRuns returns the segment-relative parts of needed whose window
@@ -119,12 +161,13 @@ func (m *l2meta) setPopulated(seg int64) {
 // runs (freshly written — newer than the file, so a sieve must never
 // overwrite them with file bytes) all count as present.
 func (m *l2meta) missingRuns(seg int64, needed []extent.Extent) []extent.Extent {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.populated[seg] {
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.populated[seg] {
 		return nil
 	}
-	have := append(append([]extent.Extent(nil), m.popRuns[seg]...), m.dirty[seg]...)
+	have := append(append([]extent.Extent(nil), s.popRuns[seg]...), s.dirty[seg]...)
 	return extent.Subtract(needed, have)
 }
 
@@ -132,15 +175,16 @@ func (m *l2meta) missingRuns(seg int64, needed []extent.Extent) []extent.Extent 
 // cover the whole segment window it is promoted to fully populated, so
 // later fetches take the fast path.
 func (m *l2meta) addPopRuns(seg int64, runs []extent.Extent, segSize int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.populated[seg] {
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.populated[seg] {
 		return
 	}
-	m.popRuns[seg] = extent.Coalesce(append(m.popRuns[seg], runs...))
-	if extent.Covers(m.popRuns[seg], 0, segSize) {
-		m.populated[seg] = true
-		delete(m.popRuns, seg)
+	s.popRuns[seg] = extent.Coalesce(append(s.popRuns[seg], runs...))
+	if extent.Covers(s.popRuns[seg], 0, segSize) {
+		s.populated[seg] = true
+		delete(s.popRuns, seg)
 	}
 }
 
@@ -176,10 +220,11 @@ func (f *File) ship(seg int64, runs []extent.Extent, payload []byte) error {
 	if slot >= int64(f.numSeg) {
 		return fmt.Errorf("%w: segment %d needs slot %d of %d", ErrCapacity, seg, slot, f.numSeg)
 	}
-	winRuns := make([]extent.Extent, len(runs))
-	for i, r := range runs {
-		winRuns[i] = extent.Extent{Off: slot*f.segSize + r.Off, Len: r.Len}
+	winRuns := f.winRunsScratch[:0]
+	for _, r := range runs {
+		winRuns = append(winRuns, extent.Extent{Off: slot*f.segSize + r.Off, Len: r.Len})
 	}
+	f.winRunsScratch = winRuns[:0]
 	t0 := f.c.Now()
 	if err := f.openEpochFor(owner); err != nil {
 		return err

@@ -226,12 +226,7 @@ func TestWriteBehindRewriteRace(t *testing.T) {
 // state the write-behind scan reads while remote ships record runs. Run
 // under -race this is the regression test for the pending/dirty bookkeeping.
 func TestL2MetaConcurrent(t *testing.T) {
-	m := &l2meta{
-		dirty:     make(map[int64][]extent.Extent),
-		pending:   make(map[int64][]extent.Extent),
-		populated: make(map[int64]bool),
-		arrival:   make(map[int64]simtime.Time),
-	}
+	m := newL2Meta()
 	const (
 		workers  = 8
 		segs     = 16
@@ -306,13 +301,8 @@ func TestEpochEvictionLRU(t *testing.T) {
 // when every entry is dirty the incoming entry is dropped instead.
 func TestPrefetchEvictRefusesDirty(t *testing.T) {
 	f := &File{session: session{
-		cfg: Config{MaxCachedSegments: 2},
-		meta: &l2meta{
-			dirty:     make(map[int64][]extent.Extent),
-			pending:   make(map[int64][]extent.Extent),
-			populated: make(map[int64]bool),
-			arrival:   make(map[int64]simtime.Time),
-		},
+		cfg:        Config{MaxCachedSegments: 2},
+		meta:       newL2Meta(),
 		prefetched: make(map[int64]*prefetchEntry),
 	}}
 	f.meta.addDirty(1, []extent.Extent{{Off: 0, Len: 4}}, 0)

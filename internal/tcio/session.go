@@ -66,6 +66,12 @@ type session struct {
 	// shipCount numbers this rank's one-sided shipments; it keys the
 	// deterministic fault rolls of the put path.
 	shipCount int64
+	// Per-handle scratch for the flush/ship hot path. Safe to reuse across
+	// calls because every consumer copies synchronously: PutSegmentsAsync
+	// copies payload into the window before returning, depositForAggregation
+	// makes private copies, and addDirty appends run values.
+	payloadScratch []byte
+	winRunsScratch []extent.Extent
 
 	// Write-behind lane (WriteBehindThreshold > 0): laneFree is when the
 	// background drain lane frees up, outstanding the completion times of
@@ -130,14 +136,8 @@ func newSession(c *mpi.Comm, name string, mode Mode, cfg Config) (session, error
 	// own l2meta and aggregation staging.
 	shared, err := c.SharedOnce(func() interface{} {
 		return &sharedState{
-			meta: &l2meta{
-				dirty:     make(map[int64][]extent.Extent),
-				pending:   make(map[int64][]extent.Extent),
-				populated: make(map[int64]bool),
-				popRuns:   make(map[int64][]extent.Extent),
-				arrival:   make(map[int64]simtime.Time),
-			},
-			agg: newAggStaging(),
+			meta: newL2Meta(),
+			agg:  newAggStaging(),
 		}
 	})
 	if err != nil {

@@ -14,7 +14,6 @@ import (
 	"github.com/tcio/tcio/internal/extent"
 	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
-	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/trace"
 )
 
@@ -48,13 +47,7 @@ func TestSieveConfigValidation(t *testing.T) {
 // missing runs shrink as popRuns accumulate, dirty runs count as present,
 // and full coverage promotes the segment to populated.
 func TestL2MetaPopRuns(t *testing.T) {
-	m := &l2meta{
-		dirty:     make(map[int64][]extent.Extent),
-		pending:   make(map[int64][]extent.Extent),
-		populated: make(map[int64]bool),
-		popRuns:   make(map[int64][]extent.Extent),
-		arrival:   make(map[int64]simtime.Time),
-	}
+	m := newL2Meta()
 	const segSize = 64
 	need := []extent.Extent{{Off: 0, Len: 32}, {Off: 48, Len: 16}}
 	if got := m.missingRuns(5, need); extent.Total(got) != 48 {
@@ -75,8 +68,8 @@ func TestL2MetaPopRuns(t *testing.T) {
 	if !m.isPopulated(5) {
 		t.Fatal("full coverage did not promote to populated")
 	}
-	if len(m.popRuns) != 0 {
-		t.Fatalf("promotion left popRuns %v", m.popRuns)
+	if pr := m.shard(5).popRuns; len(pr) != 0 {
+		t.Fatalf("promotion left popRuns %v", pr)
 	}
 	if got := m.missingRuns(5, need); got != nil {
 		t.Fatalf("populated segment: missing %v", got)

@@ -1,0 +1,31 @@
+package trace
+
+// Recorder append-path micro-benchmark: every event in the system funnels
+// through Record, so its contention profile bounds host scalability.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkTraceRecord appends one event per op from parallel goroutines
+// standing in for rank goroutines.
+func BenchmarkTraceRecord(b *testing.B) {
+	for _, ranks := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			r := New(0)
+			b.ReportAllocs()
+			b.SetBytes(1)
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				rank := int(next.Add(1)) % ranks
+				ev := Event{Rank: rank, Kind: KindWrite, Bytes: 1}
+				for pb.Next() {
+					ev.Start++
+					r.Record(ev)
+				}
+			})
+		})
+	}
+}

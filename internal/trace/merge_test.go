@@ -1,0 +1,113 @@
+package trace
+
+// The collection-time merge must be a pure function of what each rank
+// recorded: any host interleaving of the same per-rank event streams
+// yields byte-identical Events() output — including equal (Start, Rank)
+// ties, which resolve to per-rank record order.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// rankStream builds rank r's deterministic event stream, with deliberate
+// Start-time ties within the rank and across ranks.
+func rankStream(r, n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		evs[i] = Event{
+			Rank:   r,
+			Start:  simtime.Time(1000 + (i/4)*10), // runs of 4 events share a Start
+			Kind:   KindWrite,
+			Bytes:  int64(i),
+			Detail: "tie",
+		}
+	}
+	return evs
+}
+
+// recordConcurrently plays every rank's stream from its own goroutine,
+// racing the deposits so the host interleaving differs run to run.
+func recordConcurrently(ranks, perRank int) *Recorder {
+	rec := New(0)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for r := 0; r < ranks; r++ {
+		done.Add(1)
+		go func(r int) {
+			defer done.Done()
+			start.Wait()
+			for _, ev := range rankStream(r, perRank) {
+				rec.Record(ev)
+			}
+		}(r)
+	}
+	start.Done()
+	done.Wait()
+	return rec
+}
+
+func TestMergeDeterministicUnderInterleaving(t *testing.T) {
+	const ranks, perRank = 97, 64 // more ranks than shards: collisions exercised
+	want := recordConcurrently(ranks, perRank).Events()
+	if len(want) != ranks*perRank {
+		t.Fatalf("retained %d of %d events", len(want), ranks*perRank)
+	}
+	for round := 0; round < 5; round++ {
+		got := recordConcurrently(ranks, perRank).Events()
+		if !reflect.DeepEqual(got, want) {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d: first divergence at %d: got %+v want %+v",
+						round, i, got[i], want[i])
+				}
+			}
+			t.Fatalf("round %d: lengths differ: %d vs %d", round, len(got), len(want))
+		}
+	}
+}
+
+// TestMergeTiesFollowRecordOrder pins the tiebreaker directly: one rank's
+// events sharing a Start must come back in the order they were recorded.
+func TestMergeTiesFollowRecordOrder(t *testing.T) {
+	rec := New(0)
+	for i := 0; i < 8; i++ {
+		rec.Record(Event{Rank: 3, Start: simtime.Time(500), Bytes: int64(i)})
+	}
+	evs := rec.Events()
+	for i, ev := range evs {
+		if ev.Bytes != int64(i) {
+			t.Fatalf("tie order broken: position %d holds Bytes=%d", i, ev.Bytes)
+		}
+	}
+}
+
+// TestCapacityBound pins the bounded recorder's deterministic counts: at
+// most cap events retained, the rest counted as dropped.
+func TestCapacityBound(t *testing.T) {
+	const cap = 100
+	rec := New(cap)
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rec.Record(Event{Rank: r, Start: simtime.Time(i)})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if rec.Len() != cap {
+		t.Fatalf("retained %d events, want %d", rec.Len(), cap)
+	}
+	if got := rec.Dropped(); got != 8*50-cap {
+		t.Fatalf("dropped %d events, want %d", got, 8*50-cap)
+	}
+	if got := len(rec.Events()); got != cap {
+		t.Fatalf("Events() returned %d, want %d", got, cap)
+	}
+}

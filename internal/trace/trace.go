@@ -12,6 +12,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/tcio/tcio/internal/simtime"
 )
@@ -43,58 +44,106 @@ type Event struct {
 	Detail string
 }
 
+// traceShards is the number of append buffers a Recorder spreads ranks
+// over — a power of two so the shard of a rank is a mask.
+const traceShards = 64
+
+// seqEvent is an event plus its position in the recording rank's own event
+// stream, the tiebreaker that makes the collection-time merge deterministic.
+type seqEvent struct {
+	Event
+	seq uint64
+}
+
+// traceShard buffers the events of the ranks hashing to it.
+type traceShard struct {
+	mu   sync.Mutex
+	next map[int]uint64 // rank -> next per-rank sequence number
+	evs  []seqEvent
+}
+
 // Recorder collects events from many ranks. It is safe for concurrent use.
 // A bounded capacity (0 = unbounded) drops the newest events once full, so
 // tracing a huge run cannot exhaust memory.
+//
+// Events land in per-shard append buffers (ranks spread over shards), so
+// thousands of recording rank goroutines no longer serialize on one
+// recorder mutex. Collection merges the shards sorted by (Start, Rank,
+// per-rank sequence); each rank's events carry their position in that
+// rank's own stream, so the merged order is a pure function of what the
+// ranks recorded — equal (Start, Rank) ties resolve to program order
+// rather than host arrival order.
 type Recorder struct {
-	mu      sync.Mutex
-	cap     int
-	events  []Event
-	dropped int64
+	cap     int64
+	total   atomic.Int64
+	dropped atomic.Int64
+	shards  [traceShards]traceShard
 }
 
 // New creates a recorder holding at most capacity events (0 = unbounded).
 func New(capacity int) *Recorder {
-	return &Recorder{cap: capacity}
+	return &Recorder{cap: int64(capacity)}
+}
+
+// shard returns the buffer recording the given rank's events.
+func (r *Recorder) shard(rank int) *traceShard {
+	return &r.shards[uint(rank)%traceShards]
 }
 
 // Record appends one event.
 func (r *Recorder) Record(ev Event) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cap > 0 && len(r.events) >= r.cap {
-		r.dropped++
+	if r.cap > 0 && r.total.Add(1) > r.cap {
+		r.total.Add(-1)
+		r.dropped.Add(1)
 		return
 	}
-	r.events = append(r.events, ev)
+	if r.cap <= 0 {
+		r.total.Add(1)
+	}
+	s := r.shard(ev.Rank)
+	s.mu.Lock()
+	if s.next == nil {
+		s.next = make(map[int]uint64)
+	}
+	seq := s.next[ev.Rank]
+	s.next[ev.Rank] = seq + 1
+	s.evs = append(s.evs, seqEvent{Event: ev, seq: seq})
+	s.mu.Unlock()
 }
 
 // Len reports the number of retained events.
 func (r *Recorder) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	return int(r.total.Load())
 }
 
 // Dropped reports how many events the capacity bound discarded.
 func (r *Recorder) Dropped() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.dropped
+	return r.dropped.Load()
 }
 
-// Events returns a copy of the retained events sorted by (Start, Rank).
+// Events returns a copy of the retained events merged across the shard
+// buffers in (Start, Rank, per-rank record order).
 func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
+	merged := make([]seqEvent, 0, r.Len())
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		merged = append(merged, s.evs...)
+		s.mu.Unlock()
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Start != merged[j].Start {
+			return merged[i].Start < merged[j].Start
 		}
-		return out[i].Rank < out[j].Rank
+		if merged[i].Rank != merged[j].Rank {
+			return merged[i].Rank < merged[j].Rank
+		}
+		return merged[i].seq < merged[j].seq
 	})
+	out := make([]Event, len(merged))
+	for i, e := range merged {
+		out[i] = e.Event
+	}
 	return out
 }
 
@@ -136,8 +185,13 @@ func (r *Recorder) Timeline(w io.Writer) error {
 
 // Reset discards all events.
 func (r *Recorder) Reset() {
-	r.mu.Lock()
-	r.events = nil
-	r.dropped = 0
-	r.mu.Unlock()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.evs = nil
+		s.next = nil
+		s.mu.Unlock()
+	}
+	r.total.Store(0)
+	r.dropped.Store(0)
 }
