@@ -18,6 +18,8 @@
 //	tciobench -delegate -chaos   # delegation under faults (counts-only table)
 //	tciobench -scale             # host wall-clock scale sweep (ranks x GOMAXPROCS)
 //	tciobench -scale -scale-procs 64 -scale-maxprocs 2   # one small scale point
+//	tciobench -crash             # out-of-core budgets + kill-anywhere crash recovery
+//	tciobench -crash -crash-kills 12 -crash-budgets 0,2,4,8   # denser crash sweep
 //	tciobench -overlap -json results/BENCH_pr3.json   # machine-readable results
 //	tciobench -conform -seed 1 -progs 64   # randomized differential conformance sweep
 //	tciobench -all               # everything
@@ -59,6 +61,9 @@ func main() {
 		scMaxprocs = flag.String("scale-maxprocs", "1,2,4,8", "comma-separated GOMAXPROCS settings for -scale")
 		scPieces   = flag.Int("scale-pieces", 32, "strided pieces per rank for -scale")
 		scProfiles = flag.Bool("scale-profiles", true, "capture mutex/block profile top entries for -scale")
+		crash      = flag.Bool("crash", false, "run the out-of-core / crash-recovery sweep (uses -seed)")
+		crKills    = flag.Int("crash-kills", 0, "kill instants replayed per -crash configuration (0 = default)")
+		crBudgets  = flag.String("crash-budgets", "", "comma-separated resident-segment budgets for -crash (empty = default)")
 		jsonPath   = flag.String("json", "", "also write -overlap results as JSON to this path")
 		all        = flag.Bool("all", false, "run everything")
 		procs      = flag.String("procs", "64,128,256,512,1024", "comma-separated process counts for -fig5")
@@ -104,6 +109,49 @@ func main() {
 			os.Exit(1)
 		}
 		t, report, err := bench.Scale(sopts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tciobench:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s\n", t.Title)
+			err = t.CSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var blob []byte
+			if blob, err = json.MarshalIndent(report, "", "  "); err == nil {
+				err = os.WriteFile(*jsonPath, append(blob, '\n'), 0o644)
+			}
+			if err == nil && !*quiet {
+				fmt.Fprintln(os.Stderr, "  ", "wrote", *jsonPath)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tciobench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *crash {
+		copts := bench.DefaultCrash()
+		copts.Seed = *seed
+		copts.Verify = *verify
+		if *crKills > 0 {
+			copts.Kills = *crKills
+		}
+		if !*quiet {
+			copts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  ", line) }
+		}
+		var err error
+		if *crBudgets != "" {
+			if copts.Budgets, err = parseBudgets(*crBudgets); err != nil {
+				fmt.Fprintln(os.Stderr, "tciobench:", err)
+				os.Exit(1)
+			}
+		}
+		t, report, err := bench.Crash(copts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tciobench:", err)
 			os.Exit(1)
@@ -445,6 +493,18 @@ func parseRates(spec string) ([]float64, error) {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil || v < 0 || v > 1 {
 			return nil, fmt.Errorf("bad error rate %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseBudgets(spec string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(spec, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad segment budget %q", part)
 		}
 		out = append(out, v)
 	}

@@ -69,6 +69,25 @@ func (m Machine) Validate() error {
 // Scale converts a real byte count into simulated bytes.
 func (m Machine) Scale(realBytes int64) int64 { return realBytes * m.ByteScale }
 
+// PerRankMemory reports the simulated memory share one rank of an
+// nprocs-rank job receives — the same even division NewMemTracker enforces
+// (0 when the machine has no memory limit). Memory-pressure policies size
+// their budgets against it: a spill threshold chosen at or below this share
+// keeps a rank's resident segments inside what the accountant will grant.
+func (m Machine) PerRankMemory(nprocs int) int64 {
+	if m.MemPerNode == 0 {
+		return 0
+	}
+	ranksPerNode := m.CoresPerNode
+	if nprocs < ranksPerNode {
+		ranksPerNode = nprocs
+	}
+	if ranksPerNode < 1 {
+		ranksPerNode = 1
+	}
+	return m.MemPerNode / int64(ranksPerNode)
+}
+
 // NodesFor reports how many nodes a job of nprocs ranks occupies under
 // block placement (ranks 0..CoresPerNode-1 on node 0, and so on).
 func (m Machine) NodesFor(nprocs int) int {

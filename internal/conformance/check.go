@@ -78,7 +78,12 @@ func Check(p *Program) *Outcome {
 		dl = runDelegate(p, truth)
 		o.checkDelegate(p, dl, truth)
 	}
-	o.Summary = p.summarize(tc, oc, va, dl, len(o.Divergences))
+	var cr *crashRun
+	if p.Knobs.CrashKills > 0 {
+		cr = runCrash(p)
+		o.checkCrash(p, cr)
+	}
+	o.Summary = p.summarize(tc, oc, va, dl, cr, len(o.Divergences))
 	return o
 }
 
@@ -124,7 +129,7 @@ func (o *Outcome) checkCommon(run *engineRun, truth []byte) {
 // checkTCIOStats applies the counter oracles to the tcio run.
 func (o *Outcome) checkTCIOStats(p *Program, run *engineRun) {
 	if run.writeErr == "" {
-		var fsSum int64
+		var fsSum, jrnSum int64
 		for rank, s := range run.wStats {
 			wantN, wantBytes := countOps(p.WriteRounds, rank)
 			if s.Writes != wantN || s.BytesWritten != wantBytes {
@@ -143,11 +148,32 @@ func (o *Outcome) checkTCIOStats(p *Program, run *engineRun) {
 				o.diverge("tcio", "stats", "rank %d combined %d puts (saved %d) with node aggregation disarmed",
 					rank, s.NodeCombines, s.InterNodePutsSaved)
 			}
+			journalArmed := p.Knobs.Journal || p.Knobs.SegmentMemoryBudget > 0
+			if !journalArmed && (s.JournalEpochs != 0 || s.JournalAppends != 0 ||
+				s.JournalBytes != 0 || s.JournalCommits != 0) {
+				o.diverge("tcio", "stats", "rank %d journaled %d epochs (%d appends) with the journal disarmed",
+					rank, s.JournalEpochs, s.JournalAppends)
+			}
+			if journalArmed && s.JournalCommits != s.JournalEpochs {
+				// Every appended epoch batch is sealed by its own commit
+				// marker — the identity the skip-commit-marker mutant breaks.
+				o.diverge("tcio", "stats", "rank %d sealed %d of %d journal epochs",
+					rank, s.JournalCommits, s.JournalEpochs)
+			}
+			if p.Knobs.SegmentMemoryBudget == 0 &&
+				(s.SpillSegments != 0 || s.CleanDrops != 0 || s.SpillRefaultBytes != 0) {
+				o.diverge("tcio", "stats", "rank %d spilled %d/%d segments (%dB refaulted) with no memory budget",
+					rank, s.SpillSegments, s.CleanDrops, s.SpillRefaultBytes)
+			}
 			fsSum += s.FSWrites
+			jrnSum += s.JournalAppends
 		}
-		if fsSum != run.fsWrites {
-			o.diverge("tcio", "stats", "ranks report %d FSWrites, file system served %d",
-				fsSum, run.fsWrites)
+		// Journal appends go through the same charged file system, so the
+		// write-count identity gains a journal term (the truncate RPC is
+		// control traffic and deliberately uncounted).
+		if fsSum+jrnSum != run.fsWrites {
+			o.diverge("tcio", "stats", "ranks report %d FSWrites + %d journal appends, file system served %d",
+				fsSum, jrnSum, run.fsWrites)
 		}
 	}
 	if run.readErr != "" || run.writeErr != "" || run.rStats == nil {
@@ -286,11 +312,11 @@ func (o *Outcome) checkTrace(run *engineRun) {
 }
 
 // summarize renders the deterministic one-line fingerprint of the run.
-func (p *Program) summarize(tc, oc, va *engineRun, dl *delegateRun, nDiv int) string {
+func (p *Program) summarize(tc, oc, va *engineRun, dl *delegateRun, cr *crashRun, nDiv int) string {
 	var b strings.Builder
 	writes, reads := p.Ops()
 	fmt.Fprintf(&b, "seed=%d class=%d P=%d seg=%dx%d file=%d stripe=%dx%d wops=%d rops=%d truth=%.12s",
-		p.Seed, int(((p.Seed%7)+7)%7), p.Procs, p.SegmentSize, p.NumSegments,
+		p.Seed, int(((p.Seed%8)+8)%8), p.Procs, p.SegmentSize, p.NumSegments,
 		p.FileBytes, p.StripeSize, p.StripeCount, writes, reads, p.TruthSHA())
 
 	var pops, fsw int64
@@ -347,6 +373,26 @@ func (p *Program) summarize(tc, oc, va *engineRun, dl *delegateRun, nDiv int) st
 		}
 		fmt.Fprintf(&b, " del[srv=%d files=%d q=%d staged=%d runs=%d fs=%d%s]",
 			p.Knobs.ServerRanks, p.Knobs.Files, p.Knobs.QueueDepth, staged, runs, dl.fsWrites, mark)
+	}
+	if p.Knobs.Journal || p.Knobs.SegmentMemoryBudget > 0 {
+		// Epoch/commit/spill totals are collective-point quantities (journal
+		// appends and evictions happen after the flush barrier, on state that
+		// is a pure function of the program), so they diff cleanly; the kill
+		// verdicts derive from the deterministic virtual-time log.
+		var eps, commits, spill, drop, refault int64
+		for _, s := range tc.wStats {
+			eps += s.JournalEpochs
+			commits += s.JournalCommits
+			spill += s.SpillSegments
+			drop += s.CleanDrops
+			refault += s.SpillRefaultBytes
+		}
+		okKills := 0
+		if cr != nil {
+			okKills = cr.okKills
+		}
+		fmt.Fprintf(&b, " crash[kills=%d ok=%d epochs=%d commits=%d spill=%d drop=%d refault=%dB]",
+			p.Knobs.CrashKills, okKills, eps, commits, spill, drop, refault)
 	}
 	fmt.Fprintf(&b, " ocio[ret=%d inj=%s%s] van[ret=%d inj=%s%s]",
 		oc.retries, orDash(oc.injected), phaseMark(oc),

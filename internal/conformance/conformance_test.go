@@ -6,10 +6,10 @@ import (
 	"testing"
 )
 
-// TestGeneratedProgramsConform is the tier-1 sweep: four seeds per knob
+// TestGeneratedProgramsConform is the tier-1 sweep: three seeds per knob
 // class, every engine diffed against the ground truth.
 func TestGeneratedProgramsConform(t *testing.T) {
-	for seed := int64(1); seed <= 16; seed++ {
+	for seed := int64(1); seed <= 24; seed++ {
 		out := Check(Generate(seed))
 		t.Log(out.Summary)
 		for _, d := range out.Divergences {

@@ -115,6 +115,8 @@ func (p *Program) tcioConfig(rec *trace.Recorder) tcio.Config {
 		CollectiveRead:       k.CollectiveRead,
 		EmulateTwoSided:      k.EmulateTwoSided,
 		NodeAggregation:      k.NodeAggregation,
+		Journal:              k.Journal,
+		SegmentMemoryBudget:  k.SegmentMemoryBudget,
 		Trace:                rec,
 	}
 }

@@ -2,7 +2,7 @@ package conformance
 
 // The seed-deterministic program generator. One seed fixes everything:
 // geometry, knobs, chaos rules, and every op of every round. Seeds cycle
-// through seven knob classes so any contiguous seed sweep exercises every
+// through eight knob classes so any contiguous seed sweep exercises every
 // engine feature (and gives every mutant of the smoke gate something to
 // bite on) within a small budget:
 //
@@ -20,6 +20,11 @@ package conformance
 //	class 6 — delegation tier: dedicated server ranks carved out of the
 //	          communicator, several concurrently open files per client,
 //	          credit-window admission. Ops span only the client ranks.
+//	class 7 — crash consistency: the journaled-epoch tier armed (often
+//	          with a segment memory budget small enough to force spills),
+//	          then several simulated kill instants replayed from the file
+//	          system's write log, each followed by tcio.Recover and a
+//	          byte-exact diff against the committed-prefix model.
 //
 // Cross-rank write disjointness is enforced by construction: bytes are
 // dealt to ranks block-cyclically over a random granule, and every write
@@ -32,7 +37,7 @@ import "math/rand"
 // the identical program (Go's math/rand generators are stable).
 func Generate(seed int64) *Program {
 	rng := rand.New(rand.NewSource(seed))
-	class := int(((seed % 7) + 7) % 7)
+	class := int(((seed % 8) + 8) % 8)
 
 	p := &Program{Seed: seed, Procs: 2 + rng.Intn(4)}
 	if class == 0 && rng.Intn(5) == 0 {
@@ -60,6 +65,9 @@ func Generate(seed int64) *Program {
 	territory := genTerritory(rng, class, p)
 	nextID := int64(1)
 	rounds := 1 + rng.Intn(3)
+	if class == 7 {
+		rounds = 2 + rng.Intn(3) // several epochs, so kills can split them
+	}
 	for r := 0; r < rounds; r++ {
 		p.WriteRounds = append(p.WriteRounds, genWriteRound(rng, p, territory, &nextID))
 	}
@@ -146,6 +154,14 @@ func genKnobs(rng *rand.Rand, class int, seed, segSize int64) Knobs {
 		k.QueueDepth = []int{1, 2, 8}[rng.Intn(3)]
 		if rng.Intn(3) == 0 {
 			k.DemandPopulate = true // pass-through read-path variety
+		}
+	case 7: // crash consistency: journaled epochs, kill-anywhere replay
+		k.Journal = true
+		k.CrashKills = 2 + rng.Intn(4)
+		if rng.Intn(3) != 0 {
+			// Budget of one or two segments: small enough that block-cyclic
+			// territories spill (and re-fault) mid-run.
+			k.SegmentMemoryBudget = segSize * int64(1+rng.Intn(2))
 		}
 	}
 	return k

@@ -22,8 +22,8 @@ import (
 )
 
 // gateBudget is the number of generated programs each mutant gets to
-// survive; the budget gives each of the seven knob classes six rounds.
-const gateBudget = 42
+// survive; the budget gives each of the eight knob classes six rounds.
+const gateBudget = 48
 
 func TestMutationGate(t *testing.T) {
 	if !mutate.Built {

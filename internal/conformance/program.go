@@ -80,6 +80,17 @@ type Knobs struct {
 	Files       int `json:"files,omitempty"`
 	QueueDepth  int `json:"queue_depth,omitempty"`
 
+	// Crash class (class 7). Journal arms tcio's journaled-epoch tier;
+	// SegmentMemoryBudget bounds the resident level-2 segments (the spill
+	// tier — implies Journal inside tcio); CrashKills is the number of
+	// simulated crash instants the checker replays and recovers per
+	// program. CrashKills requires Journal, no delegation servers, and no
+	// write-behind: the committed-prefix crash model assumes every epoch
+	// commits before any data-file drain starts.
+	Journal             bool  `json:"journal,omitempty"`
+	SegmentMemoryBudget int64 `json:"segment_memory_budget,omitempty"`
+	CrashKills          int   `json:"crash_kills,omitempty"`
+
 	// OCIO / vanilla MPI-IO configuration.
 	Aggregators int  `json:"aggregators,omitempty"` // 0 = every rank
 	Sieving     bool `json:"sieving,omitempty"`     // vanilla read data sieving
@@ -226,6 +237,15 @@ func (p *Program) Validate() error {
 		return fmt.Errorf("conformance: %d server ranks with %d procs", p.Knobs.ServerRanks, p.Procs)
 	case p.Knobs.Files < 0 || p.Knobs.QueueDepth < 0:
 		return fmt.Errorf("conformance: negative delegation knob: %+v", p.Knobs)
+	case p.Knobs.SegmentMemoryBudget < 0 || p.Knobs.CrashKills < 0:
+		return fmt.Errorf("conformance: negative crash knob: %+v", p.Knobs)
+	case p.Knobs.CrashKills > 0 && !p.Knobs.Journal:
+		return fmt.Errorf("conformance: %d crash kills without journal", p.Knobs.CrashKills)
+	case p.Knobs.CrashKills > 0 && (p.Knobs.ServerRanks > 0 || p.Knobs.WriteBehindThreshold > 0):
+		// The committed-prefix crash model assumes no data-file store starts
+		// before every journal epoch commits: delegation re-times stores and
+		// write-behind drains eagerly, so both are out of scope for kills.
+		return fmt.Errorf("conformance: crash kills with delegation or write-behind: %+v", p.Knobs)
 	}
 	owner := make([]int8, p.FileBytes) // 0 = unwritten, else rank+1
 	for ri, round := range p.WriteRounds {

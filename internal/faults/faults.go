@@ -68,6 +68,9 @@ const (
 	// SiteWinPut fails a one-sided put epoch transiently (NIC work-request
 	// drop); the I/O library retries with backoff.
 	SiteWinPut Site = "win.put"
+	// SiteWALTruncate fails the journal-truncate RPC that retires a file's
+	// WAL after its final drain settles; the library retries with backoff.
+	SiteWALTruncate Site = "wal.truncate"
 )
 
 // Rule configures one site.

@@ -51,6 +51,15 @@ const (
 	// queued write record when a flush closes the epoch — the bytes a
 	// client believes acknowledged never reach the file system.
 	DelegateDropQueuedFlush = "delegate.drop-queued-flush"
+	// WALSkipCommitMarker makes the WAL writer skip the commit-marker
+	// append that seals an epoch: records land but no epoch ever commits,
+	// so recovery after a crash silently discards every journaled byte.
+	WALSkipCommitMarker = "wal.skip-commit-marker"
+	// TCIOSpillDropDirty makes the memory-pressure spill policy evict a
+	// dirty level-2 segment without journaling its unlogged runs first —
+	// the exact bug SegmentMemoryBudget's "spill, never drop" rule exists
+	// to prevent.
+	TCIOSpillDropDirty = "tcio.spill-drop-dirty"
 )
 
 // All lists every mutant the gate must catch.
@@ -67,5 +76,7 @@ func All() []string {
 		StorageSieveScatterOffby,
 		TCIOTwoPhaseDropIntent,
 		DelegateDropQueuedFlush,
+		WALSkipCommitMarker,
+		TCIOSpillDropDirty,
 	}
 }

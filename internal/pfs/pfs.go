@@ -139,6 +139,10 @@ type FileSystem struct {
 	mu      sync.Mutex
 	files   map[string]*File
 	nextOST int
+	// oplog is guarded by mu; oplogOn is its lock-free armed check, so the
+	// store hot path pays one atomic load when crash logging is off.
+	oplog   *Oplog
+	oplogOn atomic.Bool
 
 	reads         atomic.Int64
 	writes        atomic.Int64
@@ -192,6 +196,9 @@ func (fs *FileSystem) Open(name string) *File {
 	}
 	fs.nextOST += fs.cfg.StripeCount
 	fs.files[name] = f
+	if fs.oplog != nil {
+		fs.oplog.append(OpRecord{Kind: OpOpen, Name: name, FirstOST: f.firstOST})
+	}
 	return f
 }
 
@@ -395,7 +402,7 @@ func (f *File) writeAt(client int, off int64, data []byte, now simtime.Time, att
 	f.fs.writes.Add(1)
 	f.fs.bytesWritten.Add(int64(len(data)))
 	end := f.chargeAccess(client, off, int64(len(data)), now, true, attempt)
-	f.storeBytes(off, data)
+	f.storeAndLog(off, data, now, end)
 	return end, nil
 }
 
@@ -529,6 +536,214 @@ func (f *File) Truncate() {
 	f.size = 0
 	f.lockOwner = make(map[int64]int)
 	f.raWindow = make(map[int]extent.Extent)
+}
+
+// ---------------------------------------------------------------------------
+// Crash simulation support: the operation log.
+//
+// An Oplog, when attached via SetOplog, records every successful durable
+// mutation — file creations, stores, and truncates — together with the
+// virtual-time interval the request occupied. "Crash at virtual time T" is
+// then a pure post-hoc reconstruction: replay the log into a fresh file
+// system, keeping stores that completed by T, discarding stores that had
+// not started, and truncating the one in flight to the byte prefix the
+// elapsed fraction of its service interval had made durable. One clean run
+// yields the disk image of a crash at every possible instant.
+//
+// Replay determinism requires the single-writer discipline tcio's layout
+// already guarantees: any two logged stores touching the same byte are
+// issued by the same rank, so they are ordered identically in host append
+// order and in virtual time. (Owner-partitioned drains and per-rank WAL
+// files both satisfy this.)
+
+// Oplog record kinds.
+const (
+	OpOpen = iota // file created (Name, FirstOST)
+	OpStore       // bytes became durable (Name, Off, Data, Start, End)
+	OpTruncate    // file reset to empty (Name, Start, End)
+)
+
+// OpRecord is one logged durable mutation.
+type OpRecord struct {
+	Kind     int
+	Name     string
+	Off      int64
+	Data     []byte // private copy (OpStore only)
+	FirstOST int    // OpOpen only
+	Start    simtime.Time
+	End      simtime.Time
+}
+
+// Oplog accumulates OpRecords in host append order. Safe for concurrent use.
+type Oplog struct {
+	mu   sync.Mutex
+	recs []OpRecord
+}
+
+// Records returns a snapshot of the logged records.
+func (l *Oplog) Records() []OpRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]OpRecord(nil), l.recs...)
+}
+
+func (l *Oplog) append(r OpRecord) {
+	l.mu.Lock()
+	l.recs = append(l.recs, r)
+	l.mu.Unlock()
+}
+
+// SetOplog attaches an operation log recording every subsequent durable
+// mutation (nil detaches). Off by default: the log exists for the crash
+// conformance class and costs nothing when absent.
+func (fs *FileSystem) SetOplog(l *Oplog) {
+	fs.mu.Lock()
+	fs.oplog = l
+	fs.oplogOn.Store(l != nil)
+	fs.mu.Unlock()
+}
+
+func (fs *FileSystem) getOplog() *Oplog {
+	if !fs.oplogOn.Load() {
+		return nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.oplog
+}
+
+// Exists reports whether the named file exists, without creating it.
+func (fs *FileSystem) Exists(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[name]
+	return ok
+}
+
+// OpenPlaced is Open with an explicit first OST for a new file, bypassing
+// the round-robin placement cursor. Side files (per-rank WALs) use it so
+// their placement is a pure function of the data file's, not of creation
+// order — and an existing file is returned unchanged, making concurrent
+// placed opens idempotent.
+func (fs *FileSystem) OpenPlaced(name string, firstOST int) *File {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f, ok := fs.files[name]; ok {
+		return f
+	}
+	f := &File{
+		fs:        fs,
+		name:      name,
+		firstOST:  ((firstOST % fs.cfg.OSTCount) + fs.cfg.OSTCount) % fs.cfg.OSTCount,
+		pages:     make(map[int64][]byte),
+		lockOwner: make(map[int64]int),
+		raWindow:  make(map[int]extent.Extent),
+	}
+	fs.files[name] = f
+	if fs.oplog != nil {
+		fs.oplog.append(OpRecord{Kind: OpOpen, Name: name, FirstOST: f.firstOST})
+	}
+	return f
+}
+
+// FirstOST reports the OST serving the file's first stripe.
+func (f *File) FirstOST() int { return f.firstOST }
+
+// storeAndLog is storeBytes plus oplog recording of the store's service
+// interval. The replay prefix cut divides the written length over
+// [start, end), so callers pass the request's true departure and completion.
+func (f *File) storeAndLog(off int64, data []byte, start, end simtime.Time) {
+	f.storeBytes(off, data)
+	if l := f.fs.getOplog(); l != nil {
+		l.append(OpRecord{
+			Kind: OpStore, Name: f.name, Off: off,
+			Data: append([]byte(nil), data...), Start: start, End: end,
+		})
+	}
+}
+
+// StoreDirect stores bytes host-side: no virtual-time charge, no fault
+// rolls, no statistics, no oplog. It is the materialization primitive of
+// crash replay and recovery verification, not part of the simulated path.
+func (f *File) StoreDirect(off int64, data []byte) {
+	f.storeBytes(off, data)
+}
+
+// TruncateAt resets the file to empty as a simulated client request: it
+// pays the request overhead, can fail transiently at faults.SiteWALTruncate,
+// and is logged. Unlike writes it does not count toward Stats.Writes — the
+// journal-retirement RPC is control traffic, and the conformance write
+// ledger stays an exact data identity.
+func (f *File) TruncateAt(client int, now simtime.Time) (simtime.Time, error) {
+	return f.truncateAt(client, now, 0)
+}
+
+func (f *File) truncateAt(client int, now simtime.Time, attempt int64) (simtime.Time, error) {
+	if inj := f.fs.cfg.Faults; inj.Should(faults.SiteWALTruncate, int64(client), attempt) {
+		f.fs.faultsInjected.Add(1)
+		end := now.Add(f.fs.cfg.RequestOverhead + f.fs.faultTimeout())
+		return end, fmt.Errorf("pfs: truncate %s: %w", f.name,
+			inj.Fault(faults.SiteWALTruncate, "client=%d", client))
+	}
+	start := now
+	end := now.Add(f.fs.cfg.RequestOverhead)
+	f.mu.Lock()
+	f.pages = make(map[int64][]byte)
+	f.size = 0
+	f.mu.Unlock()
+	if l := f.fs.getOplog(); l != nil {
+		l.append(OpRecord{Kind: OpTruncate, Name: f.name, Start: start, End: end})
+	}
+	return end, nil
+}
+
+// TruncateAtRetry is TruncateAt under a retry policy; see WriteAtRetry.
+func (f *File) TruncateAtRetry(client int, now simtime.Time, pol faults.RetryPolicy) (simtime.Time, int64, error) {
+	return f.retry(now, pol, func(at simtime.Time, attempt int64) (simtime.Time, error) {
+		return f.truncateAt(client, at, attempt)
+	})
+}
+
+// ReplayAt reconstructs the durable state at virtual instant t into dst, a
+// fresh file system (same geometry, no injector). Opens replay always (file
+// creation is metadata, durable at issue); truncates apply when complete by
+// t; stores apply fully when complete, not at all when unstarted, and as a
+// deterministic byte prefix — n = len·(t−start)/(end−start), integer
+// division, so strictly less than len while t < end — when in flight.
+func (l *Oplog) ReplayAt(dst *FileSystem, t simtime.Time) {
+	l.mu.Lock()
+	recs := l.recs
+	defer l.mu.Unlock()
+	for _, r := range recs {
+		switch r.Kind {
+		case OpOpen:
+			dst.OpenPlaced(r.Name, r.FirstOST)
+		case OpTruncate:
+			if r.End <= t {
+				f := dst.Open(r.Name)
+				f.mu.Lock()
+				f.pages = make(map[int64][]byte)
+				f.size = 0
+				f.mu.Unlock()
+			}
+		case OpStore:
+			if r.Start >= t {
+				continue
+			}
+			data := r.Data
+			if r.End > t {
+				span := int64(r.End.Sub(r.Start))
+				if span <= 0 {
+					continue
+				}
+				n := int64(len(data)) * int64(t.Sub(r.Start)) / span
+				data = data[:n]
+			}
+			if len(data) > 0 {
+				dst.Open(r.Name).StoreDirect(r.Off, data)
+			}
+		}
+	}
 }
 
 // LockOwners returns the stripes currently owned, in stripe order —

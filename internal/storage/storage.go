@@ -152,6 +152,25 @@ func (c *Client) WriteExtentsFrom(op string, kind trace.Kind, reqs []Request, st
 	return c.runFrom(op, kind, reqs, true, start)
 }
 
+// Truncate resets the backing file to empty as one retried, traced,
+// virtual-time-charged control request — the journal-retirement path. op
+// names the operation for errors and retry traces; kind classifies the
+// trace event.
+func (c *Client) Truncate(op string, kind trace.Kind) error {
+	start := c.clock.Now()
+	end, retries, err := c.pf.TruncateAtRetry(c.node, start, c.retry)
+	c.clock.AdvanceTo(end)
+	if retries > 0 {
+		c.retries.Add(retries)
+		c.emit(trace.KindRetry, start, end, 0, fmt.Sprintf("%s retries=%d", op, retries))
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", op, err)
+	}
+	c.emit(kind, start, end, 0, "truncate")
+	return nil
+}
+
 // ReadAt is a single-request ReadExtents convenience.
 func (c *Client) ReadAt(op string, off int64, dst []byte) error {
 	_, err := c.ReadExtents(op, trace.KindFetch, []Request{{Off: off, Data: dst}})

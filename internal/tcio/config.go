@@ -118,6 +118,28 @@ func (cfg Config) Normalize(stripeSize int64) (Config, error) {
 		// duplicate read.
 		cfg.MaxCachedSegments = cfg.PrefetchSegments
 	}
+	if cfg.SegmentMemoryBudget < 0 {
+		return cfg, fmt.Errorf("tcio: segment memory budget %d", cfg.SegmentMemoryBudget)
+	}
+	if cfg.SegmentMemoryBudget > 0 {
+		// The budget only makes sense over the epoch log: spilling a dirty
+		// segment is free exactly because its bytes are already journaled.
+		cfg.Journal = true
+		if cfg.SegmentMemoryBudget < cfg.SegmentSize {
+			cfg.SegmentMemoryBudget = cfg.SegmentSize
+		}
+		// The prefetch lookahead and its cache must fit the same budget the
+		// window does, or arming the budget would move pressure into an
+		// unaccounted cache instead of relieving it. Both clamp to the same
+		// bound, so MaxCachedSegments >= PrefetchSegments is preserved.
+		maxResident := int(cfg.SegmentMemoryBudget / cfg.SegmentSize)
+		if cfg.PrefetchSegments > maxResident {
+			cfg.PrefetchSegments = maxResident
+		}
+		if cfg.MaxCachedSegments > maxResident {
+			cfg.MaxCachedSegments = maxResident
+		}
+	}
 	return cfg, nil
 }
 

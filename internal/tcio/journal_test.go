@@ -1,0 +1,330 @@
+package tcio
+
+// Tests of the journal tier: clean-run truncation, crash recovery to a
+// byte-exact image, the out-of-core segment budget (spill + re-fault), and
+// the disarmed path's zero-overhead guarantee.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/tcio/tcio/internal/cluster"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/pfs"
+	"github.com/tcio/tcio/internal/simtime"
+)
+
+// journalPattern writes `blocks` 16-byte blocks per rank, round-robin
+// interleaved, flushing after each of `rounds` equal parts. The data byte
+// at (rank, block, j) is rank*31 + block*7 + j + 5.
+func journalPattern(c *mpi.Comm, f *File, blocks, rounds int) error {
+	per := (blocks + rounds - 1) / rounds
+	for i := 0; i < blocks; i++ {
+		pos := int64((i*c.Size() + c.Rank()) * 16)
+		var buf [16]byte
+		for j := range buf {
+			buf[j] = byte(c.Rank()*31 + i*7 + j + 5)
+		}
+		if err := f.WriteAt(pos, buf[:]); err != nil {
+			return err
+		}
+		if (i+1)%per == 0 && i+1 < blocks {
+			if err := f.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// journalExpected is the file image journalPattern produces.
+func journalExpected(procs, blocks int) []byte {
+	out := make([]byte, procs*blocks*16)
+	for r := 0; r < procs; r++ {
+		for i := 0; i < blocks; i++ {
+			base := (i*procs + r) * 16
+			for j := 0; j < 16; j++ {
+				out[base+j] = byte(r*31 + i*7 + j + 5)
+			}
+		}
+	}
+	return out
+}
+
+func TestJournalCleanRunTruncatesAndRecoverIsNoop(t *testing.T) {
+	const procs, blocks = 3, 24
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := Config{SegmentSize: 64, NumSegments: 48, Journal: true}
+	stats := make([]Stats, procs)
+	if _, err := mpi.Run(mpi.Config{Procs: procs, FS: fs}, func(c *mpi.Comm) error {
+		f, err := Open(c, "clean", WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		if err := journalPattern(c, f, blocks, 3); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		stats[c.Rank()] = f.Stats()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := fs.Open("clean").Snapshot()
+	if want := journalExpected(procs, blocks); !bytes.Equal(got, want) {
+		t.Fatalf("journaled run diverged: got %d bytes, want %d", len(got), len(want))
+	}
+	for r := 0; r < procs; r++ {
+		s := stats[r]
+		if s.JournalEpochs == 0 || s.JournalCommits != s.JournalEpochs {
+			t.Fatalf("rank %d: epochs=%d commits=%d", r, s.JournalEpochs, s.JournalCommits)
+		}
+		wn := WALFileName("clean", r)
+		if !fs.Exists(wn) {
+			t.Fatalf("rank %d: journal file missing", r)
+		}
+		if sz := fs.Open(wn).Size(); sz != 0 {
+			t.Fatalf("rank %d: journal not truncated after clean Close: %d bytes", r, sz)
+		}
+	}
+	rep, err := Recover(fs, "clean", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesApplied != 0 {
+		t.Fatalf("recovery after clean Close replayed %d bytes", rep.BytesApplied)
+	}
+}
+
+func TestCrashBeforeDrainRecoversByteExact(t *testing.T) {
+	const procs, blocks = 4, 32
+	fsCfg := pfs.DefaultConfig()
+	fs := pfs.New(fsCfg)
+	log := &pfs.Oplog{}
+	fs.SetOplog(log)
+	cfg := Config{SegmentSize: 64, NumSegments: 64, Journal: true}
+	if _, err := mpi.Run(mpi.Config{Procs: procs, FS: fs}, func(c *mpi.Comm) error {
+		f, err := Open(c, "crash", WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		if err := journalPattern(c, f, blocks, 4); err != nil {
+			return err
+		}
+		return f.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash at the instant the last journal store settled: every epoch is
+	// committed, no drain store has started, so recovery must rebuild the
+	// complete final image from the journals alone.
+	var at simtime.Time
+	for _, r := range log.Records() {
+		if r.Kind == pfs.OpStore && strings.Contains(r.Name, ".wal.") && r.End > at {
+			at = r.End
+		}
+	}
+	if at == 0 {
+		t.Fatal("no journal stores logged")
+	}
+	crashed := pfs.New(fsCfg)
+	log.ReplayAt(crashed, at)
+	if got := crashed.Open("crash").Snapshot(); len(got) != 0 {
+		t.Fatalf("data file has %d bytes before any drain started", len(got))
+	}
+	rep, err := Recover(crashed, "crash", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := journalExpected(procs, blocks)
+	if rep.BytesApplied < int64(len(want)) {
+		t.Fatalf("recovery applied %d bytes, want at least %d", rep.BytesApplied, len(want))
+	}
+	if got := crashed.Open("crash").Snapshot(); !bytes.Equal(got, want) {
+		t.Fatalf("recovered image diverges (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestBudgetSpillsAndStaysByteExact is the out-of-core regression: a
+// budget far below the working set must spill (never silently drop) dirty
+// segments and still produce the byte-exact file.
+func TestBudgetSpillsAndStaysByteExact(t *testing.T) {
+	const procs, blocks = 2, 64
+	fs := pfs.New(pfs.DefaultConfig())
+	// Working set: 2048 bytes = 16 dirty slots of 64 bytes per rank;
+	// budget admits 2 resident slots.
+	cfg := Config{SegmentSize: 64, NumSegments: 16, SegmentMemoryBudget: 128}
+	stats := make([]Stats, procs)
+	if _, err := mpi.Run(mpi.Config{Procs: procs, FS: fs}, func(c *mpi.Comm) error {
+		f, err := Open(c, "budget", WriteMode, cfg)
+		if err != nil {
+			return err
+		}
+		if err := journalPattern(c, f, blocks, 4); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		stats[c.Rank()] = f.Stats()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fs.Open("budget").Snapshot(), journalExpected(procs, blocks); !bytes.Equal(got, want) {
+		t.Fatalf("budgeted run diverged (%d vs %d bytes)", len(got), len(want))
+	}
+	for r := 0; r < procs; r++ {
+		s := stats[r]
+		if s.SpillSegments == 0 {
+			t.Fatalf("rank %d: budget below working set never spilled", r)
+		}
+		if s.SpillRefaultBytes == 0 {
+			t.Fatalf("rank %d: spilled segments drained without journal read-back", r)
+		}
+	}
+}
+
+// TestBudgetFitsWhereUnbudgetedOOMs pins the out-of-core claim against the
+// simulated memory accountant: a machine share too small for the full
+// window admits the budgeted session and rejects the unbudgeted one with
+// ErrOutOfMemory.
+func TestBudgetFitsWhereUnbudgetedOOMs(t *testing.T) {
+	const procs, blocks = 2, 64
+	machine := cluster.Lonestar()
+	machine.CoresPerNode = 2
+	// Full window: 16*64 = 1024 B; plus the level-1 segment. Grant 512 B
+	// per rank (1024 per 2-core node): the full window cannot fit, a
+	// 128-byte budget plus the 64-byte level-1 buffer can.
+	machine.MemPerNode = 1024
+	for _, tc := range []struct {
+		name   string
+		budget int64
+		ok     bool
+	}{
+		{"unbudgeted", 0, false},
+		{"budgeted", 128, true},
+	} {
+		fs := pfs.New(pfs.DefaultConfig())
+		cfg := Config{SegmentSize: 64, NumSegments: 16, Journal: true, SegmentMemoryBudget: tc.budget}
+		_, err := mpi.Run(mpi.Config{Procs: procs, Machine: machine, FS: fs, EnforceMemory: true},
+			func(c *mpi.Comm) error {
+				f, err := Open(c, "oom-"+tc.name, WriteMode, cfg)
+				if err != nil {
+					return err
+				}
+				if err := journalPattern(c, f, blocks, 2); err != nil {
+					return err
+				}
+				return f.Close()
+			})
+		if tc.ok {
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if got, want := fs.Open("oom-"+tc.name).Snapshot(), journalExpected(procs, blocks); !bytes.Equal(got, want) {
+				t.Fatalf("%s: diverged", tc.name)
+			}
+		} else if !errors.Is(err, cluster.ErrOutOfMemory) {
+			t.Fatalf("%s: want ErrOutOfMemory, got %v", tc.name, err)
+		}
+	}
+}
+
+// TestDisarmedJournalZeroOverhead runs the same workload with and without
+// the journal: the disarmed run must issue exactly the data-file request
+// stream of the armed run (the journal adds side-file requests, never
+// changes data ones), report zero journal activity, and create no journal
+// files.
+func TestDisarmedJournalZeroOverhead(t *testing.T) {
+	const procs, blocks = 3, 24
+	type outcome struct {
+		stats []Stats
+		image []byte
+	}
+	runOne := func(journal bool) outcome {
+		fs := pfs.New(pfs.DefaultConfig())
+		cfg := Config{SegmentSize: 64, NumSegments: 48, Journal: journal}
+		out := outcome{stats: make([]Stats, procs)}
+		if _, err := mpi.Run(mpi.Config{Procs: procs, FS: fs}, func(c *mpi.Comm) error {
+			f, err := Open(c, "zero", WriteMode, cfg)
+			if err != nil {
+				return err
+			}
+			if err := journalPattern(c, f, blocks, 3); err != nil {
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			out.stats[c.Rank()] = f.Stats()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if journal {
+			for r := 0; r < procs; r++ {
+				if !fs.Exists(WALFileName("zero", r)) {
+					t.Fatalf("armed run missing journal of rank %d", r)
+				}
+			}
+		} else if fs.Exists(WALFileName("zero", 0)) {
+			t.Fatal("disarmed run created a journal file")
+		}
+		out.image = fs.Open("zero").Snapshot()
+		return out
+	}
+	off, on := runOne(false), runOne(true)
+	if !bytes.Equal(off.image, on.image) {
+		t.Fatal("journal changed the data file's bytes")
+	}
+	for r := 0; r < procs; r++ {
+		d, a := off.stats[r], on.stats[r]
+		if d.JournalEpochs != 0 || d.JournalAppends != 0 || d.JournalBytes != 0 ||
+			d.JournalCommits != 0 || d.SpillSegments != 0 || d.CleanDrops != 0 ||
+			d.SpillRefaultBytes != 0 {
+			t.Fatalf("rank %d: disarmed run counted journal activity: %+v", r, d)
+		}
+		if d.FSWrites != a.FSWrites || d.BytesWritten != a.BytesWritten {
+			t.Fatalf("rank %d: journal changed the data request stream: fsWrites %d vs %d",
+				r, d.FSWrites, a.FSWrites)
+		}
+	}
+}
+
+// TestBudgetNormalizeComposition pins how the budget composes with the
+// prefetch knobs: a budget implies Journal, is floored at one segment, and
+// shrinks the lookahead and its cache to the resident cap.
+func TestBudgetNormalizeComposition(t *testing.T) {
+	cfg, err := Config{
+		SegmentSize:         64,
+		NumSegments:         16,
+		SegmentMemoryBudget: 200, // 3 segments
+		PrefetchSegments:    8,
+		MaxCachedSegments:   12,
+	}.Normalize(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Journal {
+		t.Fatal("budget did not imply Journal")
+	}
+	if cfg.PrefetchSegments != 3 || cfg.MaxCachedSegments != 3 {
+		t.Fatalf("prefetch knobs not clamped to resident cap: prefetch=%d cache=%d",
+			cfg.PrefetchSegments, cfg.MaxCachedSegments)
+	}
+	small, err := Config{SegmentSize: 64, NumSegments: 4, SegmentMemoryBudget: 10}.Normalize(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.SegmentMemoryBudget != 64 {
+		t.Fatalf("sub-segment budget not floored to one segment: %d", small.SegmentMemoryBudget)
+	}
+	if _, err := (Config{SegmentMemoryBudget: -1}).Normalize(1 << 20); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

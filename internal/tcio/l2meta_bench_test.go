@@ -21,7 +21,7 @@ func BenchmarkL2MetaSharded(b *testing.B) {
 	const runLen = 512
 	for _, segs := range []int64{1, 16, 256, 4096} {
 		b.Run(fmt.Sprintf("segs=%d", segs), func(b *testing.B) {
-			m := newL2Meta()
+			m := newL2Meta(false)
 			b.ReportAllocs()
 			b.SetBytes(runLen)
 			var next atomic.Int64
@@ -48,7 +48,7 @@ func BenchmarkL2MetaMissingRuns(b *testing.B) {
 	const segSize = 8192
 	for _, segs := range []int64{16, 256} {
 		b.Run(fmt.Sprintf("segs=%d", segs), func(b *testing.B) {
-			m := newL2Meta()
+			m := newL2Meta(false)
 			for s := int64(0); s < segs; s++ {
 				m.addDirty(s, []extent.Extent{{Off: 128, Len: 256}}, 1)
 				m.addPopRuns(s, []extent.Extent{{Off: 1024, Len: 512}}, segSize)

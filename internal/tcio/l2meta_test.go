@@ -113,7 +113,7 @@ func TestL2MetaShardedMatchesReference(t *testing.T) {
 		return runs
 	}
 	for trial := 0; trial < 20; trial++ {
-		m := newL2Meta()
+		m := newL2Meta(false)
 		ref := newRefL2Meta()
 		for step := 0; step < 2000; step++ {
 			// Segment range deliberately exceeds the shard count so shards

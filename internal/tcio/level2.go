@@ -54,10 +54,16 @@ type l2shard struct {
 	// handle's arrival); whoever drains the runs must not depart before it
 	// — the data is not in the owner's window, in virtual time, until then.
 	arrival map[int64]simtime.Time
+	// unlogged tracks, per segment, the dirty runs the owner's journal has
+	// not recorded yet; journalEpoch consumes them at each Flush/Close.
+	// nil when the journal tier is disarmed, so the unjournaled write path
+	// does zero extra bookkeeping.
+	unlogged map[int64][]extent.Extent
 }
 
-// newL2Meta builds empty shared metadata for one open file.
-func newL2Meta() *l2meta {
+// newL2Meta builds empty shared metadata for one open file. journal arms
+// the unlogged-run bookkeeping the epoch log consumes.
+func newL2Meta(journal bool) *l2meta {
 	m := &l2meta{}
 	for i := range m.shards {
 		s := &m.shards[i]
@@ -66,6 +72,9 @@ func newL2Meta() *l2meta {
 		s.populated = make(map[int64]bool)
 		s.popRuns = make(map[int64][]extent.Extent)
 		s.arrival = make(map[int64]simtime.Time)
+		if journal {
+			s.unlogged = make(map[int64][]extent.Extent)
+		}
 	}
 	return m
 }
@@ -90,6 +99,20 @@ func (m *l2meta) addDirty(seg int64, runs []extent.Extent, at simtime.Time) {
 	if at > s.arrival[seg] {
 		s.arrival[seg] = at
 	}
+	if s.unlogged != nil {
+		s.unlogged[seg] = extent.Coalesce(append(s.unlogged[seg], runs...))
+	}
+}
+
+// takeUnlogged removes and returns the segment's not-yet-journaled runs
+// (segment-relative). The owner consumes them at each journalEpoch.
+func (m *l2meta) takeUnlogged(seg int64) []extent.Extent {
+	s := m.shard(seg)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	runs := s.unlogged[seg]
+	delete(s.unlogged, seg)
+	return runs
 }
 
 func (m *l2meta) dirtyRuns(seg int64) []extent.Extent {

@@ -226,7 +226,7 @@ func TestWriteBehindRewriteRace(t *testing.T) {
 // state the write-behind scan reads while remote ships record runs. Run
 // under -race this is the regression test for the pending/dirty bookkeeping.
 func TestL2MetaConcurrent(t *testing.T) {
-	m := newL2Meta()
+	m := newL2Meta(false)
 	const (
 		workers  = 8
 		segs     = 16
@@ -302,7 +302,7 @@ func TestEpochEvictionLRU(t *testing.T) {
 func TestPrefetchEvictRefusesDirty(t *testing.T) {
 	f := &File{session: session{
 		cfg:        Config{MaxCachedSegments: 2},
-		meta:       newL2Meta(),
+		meta:       newL2Meta(false),
 		prefetched: make(map[int64]*prefetchEntry),
 	}}
 	f.meta.addDirty(1, []extent.Extent{{Off: 0, Len: 4}}, 0)

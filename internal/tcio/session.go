@@ -20,6 +20,7 @@ import (
 	"github.com/tcio/tcio/internal/netsim"
 	"github.com/tcio/tcio/internal/simtime"
 	"github.com/tcio/tcio/internal/storage"
+	"github.com/tcio/tcio/internal/wal"
 )
 
 // session is the per-file engine state of one open TCIO file on one rank.
@@ -88,6 +89,25 @@ type session struct {
 	popBuf  []byte
 	wbArena []byte
 
+	// Journal tier (Config.Journal, write mode; DESIGN.md §2f). jw appends
+	// this rank's flush epochs to its per-file journal; epoch is the
+	// collective flush-epoch counter, advanced identically on every rank.
+	// nonResident marks local slots whose segment was spilled (dirty,
+	// journaled) or dropped (clean) under memory pressure; spillRefs holds
+	// the journal-file extents a slot's journaled bytes re-fault from.
+	// budgetSegs is the resident-segment cap (0 = unlimited); winReserved
+	// is the simulated charge taken for the window under a budget (the
+	// budget, not the full window), which release must return in kind.
+	// jArena is the reused epoch-snapshot/refault staging buffer (plain
+	// memory, outside the simulated accountant, like wbArena).
+	jw          *wal.Writer
+	epoch       int64
+	nonResident map[int64]bool
+	spillRefs   map[int64][]extent.Extent
+	budgetSegs  int
+	winReserved int64
+	jArena      []byte
+
 	// Prefetch lane (PrefetchSegments > 0): segment staging buffers read
 	// ahead of demand, keyed by global segment, in LRU insertion order.
 	prefetched  map[int64]*prefetchEntry
@@ -112,15 +132,36 @@ type session struct {
 // and the storage access path. cfg must already be normalized.
 func newSession(c *mpi.Comm, name string, mode Mode, cfg Config) (session, error) {
 	// Level-2 window memory: NumSegments segments of SegmentSize each.
-	winBuf, err := c.Malloc(int64(cfg.NumSegments) * cfg.SegmentSize)
-	if err != nil {
-		return session{}, fmt.Errorf("tcio: level-2 buffer: %w", err)
+	// Under a segment budget (write mode) only the budget's worth is
+	// charged to the rank's simulated share — the spill tier guarantees at
+	// most that many segments stay resident — while the host-side window
+	// stays full-size, so spilled slots keep their bytes for the
+	// simulation and re-faults are pure accounting.
+	winBytes := int64(cfg.NumSegments) * cfg.SegmentSize
+	var winBuf []byte
+	var winReserved int64
+	if cfg.SegmentMemoryBudget > 0 && mode == WriteMode {
+		winReserved = c.Machine().Scale(cfg.SegmentMemoryBudget)
+		if err := c.Reserve(winReserved); err != nil {
+			return session{}, fmt.Errorf("tcio: level-2 buffer: %w", err)
+		}
+		winBuf = make([]byte, winBytes)
+	} else {
+		var err error
+		winBuf, err = c.Malloc(winBytes)
+		if err != nil {
+			return session{}, fmt.Errorf("tcio: level-2 buffer: %w", err)
+		}
 	}
 	// Level-1 buffer: exactly one segment (paper §IV.A: "we set them to be
 	// equal, and each level-1 buffer is aligned with one level-2 segment").
 	l1, err := c.Malloc(cfg.SegmentSize)
 	if err != nil {
-		c.Free(winBuf)
+		if winReserved > 0 {
+			c.Release(winReserved)
+		} else {
+			c.Free(winBuf)
+		}
 		return session{}, fmt.Errorf("tcio: level-1 buffer: %w", err)
 	}
 	win, err := c.WinCreate(winBuf)
@@ -136,7 +177,7 @@ func newSession(c *mpi.Comm, name string, mode Mode, cfg Config) (session, error
 	// own l2meta and aggregation staging.
 	shared, err := c.SharedOnce(func() interface{} {
 		return &sharedState{
-			meta: newL2Meta(),
+			meta: newL2Meta(cfg.Journal && mode == WriteMode),
 			agg:  newAggStaging(),
 		}
 	})
@@ -170,8 +211,29 @@ func newSession(c *mpi.Comm, name string, mode Mode, cfg Config) (session, error
 		// lazy recording touches no data until Fetch.
 		pieceCPU: simtime.Duration(150) * simtime.Duration(c.Machine().ByteScale),
 	}
+	s.winReserved = winReserved
 	if mode == ReadMode {
 		s.pieceCPU = simtime.Duration(60) * simtime.Duration(c.Machine().ByteScale)
+	}
+	if cfg.Journal && mode == WriteMode {
+		// The journal file lands on the OST after the data file's first —
+		// offset by rank so P journals spread across the targets instead of
+		// queuing behind the data stripes. Every armed rank creates its
+		// journal at Open, so Recover can probe rank 0.. by existence.
+		wfile := c.FS().OpenPlaced(WALFileName(name, c.Rank()),
+			(store.File().FirstOST()+1+c.Rank())%c.FS().Config().OSTCount)
+		wstore := storage.NewClient(wfile, c.Node(), c.Rank(), c)
+		wstore.SetRetryPolicy(retry)
+		wstore.SetTrace(cfg.Trace)
+		s.jw = wal.NewWriter(wstore, c.Rank())
+		s.nonResident = make(map[int64]bool)
+		s.spillRefs = make(map[int64][]extent.Extent)
+		if cfg.SegmentMemoryBudget > 0 {
+			s.budgetSegs = int(cfg.SegmentMemoryBudget / cfg.SegmentSize)
+			if s.budgetSegs < 1 {
+				s.budgetSegs = 1
+			}
+		}
 	}
 	if cfg.EmulateTwoSided {
 		win.SetClass(netsim.TwoSided)
@@ -193,9 +255,16 @@ func newSession(c *mpi.Comm, name string, mode Mode, cfg Config) (session, error
 	return s, nil
 }
 
-// release returns the session's accounted memory (Close calls it).
+// release returns the session's accounted memory (Close calls it). Under a
+// segment budget the window was charged by Reserve — only the budget, not
+// the full host-side buffer — so the same amount is Released; freeing the
+// buffer's length would return memory the rank never charged.
 func (s *session) release() {
-	s.c.Free(s.win.Local())
+	if s.winReserved > 0 {
+		s.c.Release(s.winReserved)
+	} else {
+		s.c.Free(s.win.Local())
+	}
 	s.c.Free(s.l1Buf)
 }
 

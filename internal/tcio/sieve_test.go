@@ -47,7 +47,7 @@ func TestSieveConfigValidation(t *testing.T) {
 // missing runs shrink as popRuns accumulate, dirty runs count as present,
 // and full coverage promotes the segment to populated.
 func TestL2MetaPopRuns(t *testing.T) {
-	m := newL2Meta()
+	m := newL2Meta(false)
 	const segSize = 64
 	need := []extent.Extent{{Off: 0, Len: 32}, {Off: 48, Len: 16}}
 	if got := m.missingRuns(5, need); extent.Total(got) != 48 {

@@ -61,6 +61,28 @@ type Stats struct {
 	// deposits merged (each deposit would have been its own put).
 	InterNodePutsSaved int64
 
+	// Journal tier (Config.Journal / SegmentMemoryBudget; DESIGN.md §2f).
+	// JournalEpochs counts non-empty epoch batches appended to this rank's
+	// journal; JournalAppends the storage write requests they issued
+	// (batches plus commit markers — the journal's contribution to the
+	// file system request stream); JournalBytes the journal bytes written.
+	// JournalCommits counts commit markers: equal to JournalEpochs in a
+	// correct writer, and the observable gap of the skip-commit-marker
+	// mutant.
+	JournalEpochs  int64
+	JournalAppends int64
+	JournalBytes   int64
+	JournalCommits int64
+	// Memory-pressure spill (SegmentMemoryBudget > 0). SpillSegments
+	// counts dirty segments marked non-resident (their bytes live in the
+	// journal until re-faulted); CleanDrops counts evicted segments whose
+	// buffered runs were already durable on the data file, so dropping
+	// them cost nothing; SpillRefaultBytes counts journal bytes read back
+	// when a spilled segment's data was needed again (re-dirty or drain).
+	SpillSegments     int64
+	CleanDrops        int64
+	SpillRefaultBytes int64
+
 	// EpochEvictions counts put epochs closed early because the pipeline
 	// window was full — churn the LRU eviction policy is meant to minimize.
 	EpochEvictions int64

@@ -129,6 +129,28 @@ type Config struct {
 	// queue; small values throttle the application whenever the OSTs run
 	// behind.
 	WriteBehindQueue int
+	// Journal arms the crash-consistency tier in write mode: every Flush
+	// and Close appends the epoch's not-yet-journaled dirty runs to a
+	// per-rank journal file (name + ".wal.<rank>") as length-prefixed,
+	// checksummed records sealed by a commit marker, through the same
+	// charged storage path as data writes. Close truncates the journal
+	// only after the final drain settled, so Recover can replay committed
+	// epochs to a byte-exact file state after a crash at any virtual
+	// time. Off (the default) keeps the write path bit-identical to the
+	// unjournaled library, including its fault rolls. See DESIGN.md §2f.
+	Journal bool
+	// SegmentMemoryBudget bounds the level-2 segments a rank keeps
+	// resident in write mode, in bytes (rounded down to whole segments,
+	// minimum one). When the segments holding buffered data exceed the
+	// budget, the journal tier spills them: clean segments are dropped,
+	// dirty segments — whose bytes every epoch already journaled — are
+	// marked non-resident and re-faulted from the journal when the drain
+	// needs them, so datasets larger than memory complete where a purely
+	// in-memory collective buffer would exhaust its share. A non-zero
+	// budget implies Journal (the spill tier is meaningless without the
+	// epoch log) and shrinks PrefetchSegments/MaxCachedSegments to fit.
+	// 0 disables the budget (the default).
+	SegmentMemoryBudget int64
 	// PrefetchSegments makes the demand-populate read path look ahead:
 	// when Fetch walks forward-consecutive segments, up to this many
 	// upcoming segment reads are issued on a background lane so the file
@@ -300,6 +322,18 @@ func (f *File) Flush() error {
 	if err := f.c.Barrier(); err != nil {
 		return err
 	}
+	if f.mode == WriteMode && f.jw != nil {
+		// The barrier published every rank's puts, so the owner's window
+		// holds the epoch's final bytes: journal them, then synchronize
+		// again so no rank starts the next epoch's shipments while a peer
+		// is still appending this one's records.
+		if err := f.journalEpoch(); err != nil {
+			return err
+		}
+		if err := f.c.Barrier(); err != nil {
+			return err
+		}
+	}
 	if f.mode == WriteMode && f.aggEnabled {
 		// Runs become dirty only at the combine, so the write-behind scan
 		// runs here instead of per shipment; the barrier above put every
@@ -340,6 +374,17 @@ func (f *File) Close() error {
 	if err := f.c.Barrier(); err != nil {
 		return err
 	}
+	if f.mode == WriteMode && f.jw != nil {
+		// Journal the final epoch before any rank drains: after this
+		// barrier every committed byte is durable in some journal, so a
+		// crash anywhere inside the drain replays to the full final image.
+		if err := f.journalEpoch(); err != nil && opErr == nil {
+			opErr = err
+		}
+		if err := f.c.Barrier(); err != nil {
+			return err
+		}
+	}
 	if f.mode == WriteMode && opErr == nil {
 		opErr = f.drain()
 	}
@@ -347,6 +392,13 @@ func (f *File) Close() error {
 	// virtual time, as MPI_File_close would.
 	if err := f.c.Barrier(); err != nil {
 		return err
+	}
+	if f.mode == WriteMode && opErr == nil {
+		// The drain settled everywhere (the barrier above), so the journal
+		// has done its job; truncating it makes recovery a no-op. Under a
+		// local error the journal is deliberately kept — it still holds
+		// the committed epochs a recovery would need.
+		opErr = f.truncateJournal()
 	}
 	f.closed = true
 	f.release()

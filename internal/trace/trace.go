@@ -32,6 +32,7 @@ const (
 	KindPrefetch Kind = "prefetch" // segment read ahead on the background lane
 	KindCombine  Kind = "combine"  // node leader merged co-located ranks' runs into one put
 	KindSieve    Kind = "sieve"    // covering read of a data-sieving group
+	KindJournal  Kind = "journal"  // epoch record batch appended to the WAL tier
 )
 
 // Event is one recorded operation.
