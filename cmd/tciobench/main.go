@@ -14,8 +14,9 @@
 //	tciobench -nodeagg -chaos    # node aggregation under faults (counts-only table)
 //	tciobench -sieve             # noncontiguous read engine sweep (sieve budget x holes x granule)
 //	tciobench -sieve -chaos      # sieved reads under faults (counts-only table)
-//	tciobench -delegate          # I/O delegation sweep (servers x files x request size)
+//	tciobench -delegate          # I/O delegation sweep (servers x files x request size) + delegated reads
 //	tciobench -delegate -chaos   # delegation under faults (counts-only table)
+//	tciobench -delegate-read     # delegated read sweep alone (pattern x server cache x collective)
 //	tciobench -scale             # host wall-clock scale sweep (ranks x GOMAXPROCS)
 //	tciobench -scale -scale-procs 64 -scale-maxprocs 2   # one small scale point
 //	tciobench -crash             # out-of-core budgets + kill-anywhere crash recovery
@@ -55,7 +56,8 @@ func main() {
 		overlap    = flag.Bool("overlap", false, "sweep write-behind and read-prefetch overlap settings")
 		nodeagg    = flag.Bool("nodeagg", false, "sweep intra-node aggregation (cores/node x segment size)")
 		sieve      = flag.Bool("sieve", false, "sweep the noncontiguous read engine (sieve budget x hole density x interleave granule)")
-		delegate   = flag.Bool("delegate", false, "sweep the I/O delegation tier (server ranks x open files x request size)")
+		delegate   = flag.Bool("delegate", false, "sweep the I/O delegation tier (server ranks x open files x request size), plus the delegated read sweep")
+		dread      = flag.Bool("delegate-read", false, "sweep the delegated read path alone (access pattern x server cache x collective reads)")
 		scale      = flag.Bool("scale", false, "sweep host wall-clock scalability (simulated ranks x GOMAXPROCS)")
 		scProcs    = flag.String("scale-procs", "64,256,1024,4096", "comma-separated rank counts for -scale")
 		scMaxprocs = flag.String("scale-maxprocs", "1,2,4,8", "comma-separated GOMAXPROCS settings for -scale")
@@ -177,7 +179,7 @@ func main() {
 		}
 		return
 	}
-	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*nodeagg && !*sieve && !*delegate && !*all {
+	if !*fig5 && !*fig6 && !*fig7 && !*tables && !*ablations && !*chaos && !*dsweep && !*overlap && !*nodeagg && !*sieve && !*delegate && !*dread && !*all {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -193,7 +195,8 @@ func main() {
 		(*overlap || *all) && !overlapChaos, overlapChaos,
 		(*nodeagg || *all) && !nodeaggChaos, nodeaggChaos,
 		(*sieve || *all) && !sieveChaos, sieveChaos,
-		(*delegate || *all) && !delegateChaos, delegateChaos, *jsonPath, *procs, *lenSim, *lenReal,
+		(*delegate || *all) && !delegateChaos, delegateChaos,
+		(*delegate || *all) && !delegateChaos || *dread, *jsonPath, *procs, *lenSim, *lenReal,
 		*seed, *rates, *cprocs, *dworkers, *verify, *csv, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "tciobench:", err)
 		os.Exit(1)
@@ -201,7 +204,7 @@ func main() {
 }
 
 func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overlapChaos,
-	nodeagg, nodeaggChaos, sieve, sieveChaos, delegate, delegateChaos bool,
+	nodeagg, nodeaggChaos, sieve, sieveChaos, delegate, delegateChaos, delegateRead bool,
 	jsonPath, procsSpec string, lenSim, lenReal int, seed int64, ratesSpec string,
 	chaosProcs, drainWorkers int, verify, csv, quiet bool) error {
 	emit := func(t stats.Table) error {
@@ -449,7 +452,7 @@ func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overla
 		}
 	}
 
-	if delegate || delegateChaos {
+	if delegate || delegateChaos || delegateRead {
 		dlopts := bench.DefaultDelegate()
 		dlopts.Verify = verify
 		dlopts.Progress = progress
@@ -462,25 +465,42 @@ func run(fig5, fig6, fig7, tables, ablations, chaos, drainsweep, overlap, overla
 				return err
 			}
 		}
+		var report *bench.DelegateReport
 		if delegate {
-			t, report, err := bench.Delegate(dlopts)
+			t, rep, err := bench.Delegate(dlopts)
 			if err != nil {
 				return err
 			}
 			if err := emit(t); err != nil {
 				return err
 			}
-			if jsonPath != "" {
-				blob, err := json.MarshalIndent(report, "", "  ")
-				if err != nil {
-					return err
-				}
-				if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
-					return err
-				}
-				if !quiet {
-					fmt.Fprintln(os.Stderr, "  ", "wrote", jsonPath)
-				}
+			report = rep
+		}
+		if delegateRead {
+			ropts := bench.DefaultDelegateRead()
+			ropts.Verify = verify
+			ropts.Progress = progress
+			t, points, err := bench.DelegateRead(ropts)
+			if err != nil {
+				return err
+			}
+			if err := emit(t); err != nil {
+				return err
+			}
+			if report != nil {
+				report.ReadPoints = points
+			}
+		}
+		if report != nil && jsonPath != "" {
+			blob, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+			if !quiet {
+				fmt.Fprintln(os.Stderr, "  ", "wrote", jsonPath)
 			}
 		}
 	}

@@ -103,6 +103,9 @@ type DelegateReport struct {
 	QueueDepth    int             `json:"queue_depth"`
 	Scale         int64           `json:"scale"`
 	Points        []DelegatePoint `json:"points"`
+	// ReadPoints holds the delegated read sweep's cells (DelegateRead);
+	// nil when only the write sweep ran.
+	ReadPoints []DelegateReadPoint `json:"read_points,omitempty"`
 }
 
 // delegateByte is the workload's deterministic content generator; the

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallDelegateReadOpts shrinks the read sweep to test scale: 4 clients,
+// 2 KiB file, 64 B requests, 1 KiB domain blocks (so 2 blocks).
+func smallDelegateReadOpts() DelegateReadOptions {
+	return DelegateReadOptions{
+		Clients:       4,
+		SegSize:       256,
+		SegsPerClient: 2,
+		Servers:       1,
+		CacheBlocks:   []int{0, 8},
+		Patterns:      []string{PatternPrivate, PatternShared},
+		Collective:    []bool{false, true},
+		ReadQuantum:   128,
+		ReqSize:       64,
+		Scale:         4,
+		Verify:        true,
+	}
+}
+
+func TestDelegateReadSweepSmall(t *testing.T) {
+	opts := smallDelegateReadOpts()
+	_, points, err := DelegateRead(opts)
+	if err != nil {
+		t.Fatalf("DelegateRead: %v", err)
+	}
+	fileBytes := delegateReadFileBytes(opts)
+	pieces := fileBytes / opts.ReqSize            // 32
+	blocks := fileBytes / (4 * opts.SegSize)      // domain = 4 segments
+	perPass := map[string]int64{PatternPrivate: pieces, PatternShared: pieces * int64(opts.Clients)}
+	type key struct {
+		pattern string
+		cache   int
+		coll    bool
+	}
+	byKey := map[key]DelegateReadPoint{}
+	for _, p := range points {
+		if p.Result != "ok" {
+			t.Fatalf("point %+v: result %q", p, p.Result)
+		}
+		byKey[key{p.Pattern, p.CacheBlocks, p.Collective}] = p
+	}
+	for _, pattern := range opts.Patterns {
+		reqs := 2 * perPass[pattern] // two passes
+		for _, coll := range opts.Collective {
+			dis := byKey[key{pattern, 0, coll}]
+			arm := byKey[key{pattern, 8, coll}]
+			for _, p := range []DelegateReadPoint{dis, arm} {
+				if p.ReadReqs != reqs {
+					t.Errorf("%s coll=%v cache=%d: %d read reqs, want %d",
+						pattern, coll, p.CacheBlocks, p.ReadReqs, reqs)
+				}
+			}
+			// Disarmed: no cache counters, and the hot pass repeats the cold
+			// pass's file system requests exactly.
+			if dis.CacheHits != 0 || dis.CacheMisses != 0 {
+				t.Errorf("%s coll=%v disarmed: cache counters %d/%d", pattern, coll, dis.CacheHits, dis.CacheMisses)
+			}
+			if dis.FSReadsHot != dis.FSReadsCold {
+				t.Errorf("%s coll=%v disarmed: hot pass %d fs reads, cold %d",
+					pattern, coll, dis.FSReadsHot, dis.FSReadsCold)
+			}
+			wantCold := perPass[pattern]
+			if coll {
+				// Collective epochs stage the merged union once per block.
+				wantCold = blocks
+			}
+			if dis.FSReadsCold != wantCold {
+				t.Errorf("%s coll=%v disarmed: cold pass %d fs reads, want %d",
+					pattern, coll, dis.FSReadsCold, wantCold)
+			}
+			// Armed: the cold pass fills each block once, the hot pass never
+			// reaches the file system, and every request or collective block
+			// is a hit or a miss.
+			if arm.FSReadsCold != blocks || arm.FSReadsHot != 0 {
+				t.Errorf("%s coll=%v armed: fs reads %d/%d, want %d/0",
+					pattern, coll, arm.FSReadsCold, arm.FSReadsHot, blocks)
+			}
+			if arm.CacheMisses != blocks {
+				t.Errorf("%s coll=%v armed: %d misses, want %d", pattern, coll, arm.CacheMisses, blocks)
+			}
+			served := reqs
+			if coll {
+				served = 2 * blocks // one staging per block per epoch
+			}
+			if arm.CacheHits+arm.CacheMisses != served {
+				t.Errorf("%s coll=%v armed: hits+misses %d, want %d",
+					pattern, coll, arm.CacheHits+arm.CacheMisses, served)
+			}
+			// The armed hot re-read must beat its cold pass.
+			if arm.HotNs >= arm.ColdNs {
+				t.Errorf("%s coll=%v armed: hot pass %dns not faster than cold %dns",
+					pattern, coll, arm.HotNs, arm.ColdNs)
+			}
+		}
+		// Collective reads collapse overlapping requests before the file
+		// system: the shared pattern's per-request cold pass must cost at
+		// least Clients times the collective cold pass.
+		dis := byKey[key{PatternShared, 0, false}]
+		col := byKey[key{PatternShared, 0, true}]
+		if dis.FSReadsCold < int64(opts.Clients)*col.FSReadsCold {
+			t.Errorf("shared: per-request cold pass %d fs reads, collective %d — overlap not collapsed",
+				dis.FSReadsCold, col.FSReadsCold)
+		}
+	}
+}
+
+// TestDelegateReadDeterministicColumns re-runs the sweep and requires the
+// count columns (everything but the virtual times) to be identical — the
+// property CI's double-run diff rests on.
+func TestDelegateReadDeterministicColumns(t *testing.T) {
+	opts := smallDelegateReadOpts()
+	strip := func(points []DelegateReadPoint) []DelegateReadPoint {
+		out := append([]DelegateReadPoint(nil), points...)
+		for i := range out {
+			out[i].ColdNs, out[i].HotNs, out[i].Speedup = 0, 0, 0
+		}
+		return out
+	}
+	_, a, err := DelegateRead(opts)
+	if err != nil {
+		t.Fatalf("DelegateRead: %v", err)
+	}
+	_, b, err := DelegateRead(opts)
+	if err != nil {
+		t.Fatalf("DelegateRead: %v", err)
+	}
+	if !reflect.DeepEqual(strip(a), strip(b)) {
+		t.Errorf("deterministic columns differ:\n%+v\n---\n%+v", strip(a), strip(b))
+	}
+}
+
+func TestDelegateReadValidate(t *testing.T) {
+	opts := smallDelegateReadOpts()
+	opts.Servers = 0
+	if _, _, err := DelegateRead(opts); err == nil {
+		t.Errorf("serverless read sweep accepted")
+	}
+	opts = smallDelegateReadOpts()
+	opts.ReqSize = 96 // 2048 / (96*4) does not divide
+	if _, _, err := DelegateRead(opts); err == nil {
+		t.Errorf("misaligned request size accepted")
+	}
+	opts = smallDelegateReadOpts()
+	opts.Patterns = []string{"zigzag"}
+	if _, _, err := DelegateRead(opts); err == nil {
+		t.Errorf("unknown pattern accepted")
+	}
+}

@@ -373,6 +373,23 @@ func (p *Program) summarize(tc, oc, va *engineRun, dl *delegateRun, cr *crashRun
 		}
 		fmt.Fprintf(&b, " del[srv=%d files=%d q=%d staged=%d runs=%d fs=%d%s]",
 			p.Knobs.ServerRanks, p.Knobs.Files, p.Knobs.QueueDepth, staged, runs, dl.fsWrites, mark)
+		if len(dl.rservers) > 0 {
+			// Read-phase totals are per-block quantities (first touch fills,
+			// epoch unions are program-determined, the generator's cache
+			// capacity rules out evictions), so hit/miss sums diff cleanly
+			// even though which client triggers a fill races.
+			var rreq, repoch, hit, miss, rfs int64
+			for _, s := range dl.rservers {
+				rreq += s.ReadReqs
+				repoch += s.ReadEpochs
+				hit += s.CacheHits
+				miss += s.CacheMisses
+				rfs += s.FSReads
+			}
+			fmt.Fprintf(&b, " dread[cache=%d quant=%d coll=%v req=%d epoch=%d hit=%d miss=%d fs=%d]",
+				p.Knobs.ServerCacheBlocks, p.Knobs.ReadQuantum, p.Knobs.CollectiveRead,
+				rreq, repoch, hit, miss, rfs)
+		}
 	}
 	if p.Knobs.Journal || p.Knobs.SegmentMemoryBudget > 0 {
 		// Epoch/commit/spill totals are collective-point quantities (journal

@@ -53,8 +53,14 @@ type delegateRun struct {
 	// when ServerRanks == 0.
 	w, r  [][]delegate.Stats
 	passW [][]tcio.Stats
-	// servers is the write phase's per-server counters (delegation only).
-	servers []delegate.ServerStats
+	// servers and rservers are the write and read phases' per-server
+	// counters (delegation only — the phases run in separate worlds, so
+	// each server reports twice).
+	servers  []delegate.ServerStats
+	rservers []delegate.ServerStats
+	// fsReads is the read phase's file system request count (the write
+	// phase's reads, if any, are subtracted out).
+	fsReads int64
 }
 
 func statsGrid(files, clients int) [][]delegate.Stats {
@@ -77,9 +83,11 @@ func runDelegate(p *Program, truth []byte) *delegateRun {
 	inj := p.newInjector()
 	fs := p.newFS(inj)
 	dcfg := delegate.Config{
-		ServerRanks: k.ServerRanks,
-		QueueDepth:  k.QueueDepth,
-		TCIO:        p.tcioConfig(trace.New(0)),
+		ServerRanks:       k.ServerRanks,
+		QueueDepth:        k.QueueDepth,
+		ServerCacheBlocks: k.ServerCacheBlocks,
+		ReadQuantum:       k.ReadQuantum,
+		TCIO:              p.tcioConfig(trace.New(0)),
 	}
 
 	out.w = statsGrid(k.Files, clients)
@@ -152,8 +160,12 @@ func runDelegate(p *Program, truth []byte) *delegateRun {
 	}
 
 	out.r = statsGrid(k.Files, clients)
+	rcol := &delegate.Collector{}
+	rcfg := dcfg
+	rcfg.Collect = rcol
+	fsReadsBefore := fs.Stats().Reads
 	_, err = mpi.Run(mpi.Config{Procs: p.Procs, Machine: p.machine(), FS: fs, Faults: inj}, func(c *mpi.Comm) error {
-		return delegate.Run(c, dcfg, func(tr *delegate.Tier) error {
+		return delegate.Run(c, rcfg, func(tr *delegate.Tier) error {
 			files := make([]*delegate.File, k.Files)
 			for fi := range files {
 				f, err := tr.Open(delegateName(fi), tcio.ReadMode)
@@ -180,8 +192,10 @@ func runDelegate(p *Program, truth []byte) *delegateRun {
 						caps = append(caps, fileCapture{fi: fi, cap: readCapture{op: op, got: dst}})
 					}
 				}
-				// Materialize the round's lazy reads in pass-through mode
-				// (delegation reads were synchronous; Fetch is a no-op).
+				// Materialize the round's lazy reads: pass-through defers to
+				// tcio's fetch queue, and delegated collective reads ship the
+				// round's intent epoch here. (Synchronous delegated reads make
+				// this a no-op.)
 				for _, f := range files {
 					if err := f.Fetch(); err != nil {
 						return err
@@ -206,7 +220,10 @@ func runDelegate(p *Program, truth []byte) *delegateRun {
 	})
 	if err != nil {
 		out.err = err.Error()
+		return out
 	}
+	out.rservers = rcol.Servers()
+	out.fsReads = fs.Stats().Reads - fsReadsBefore
 	return out
 }
 
@@ -299,5 +316,71 @@ func (o *Outcome) checkDelegate(p *Program, dl *delegateRun, truth []byte) {
 	}
 	if fsSum != dl.fsWrites {
 		o.diverge("delegate", "stats", "servers report %d FSWrites, file system served %d", fsSum, dl.fsWrites)
+	}
+	o.checkDelegateRead(p, dl)
+}
+
+// checkDelegateRead applies the read-path conservation laws to the read
+// phase's per-server counters (delegation only).
+func (o *Outcome) checkDelegateRead(p *Program, dl *delegateRun) {
+	k := p.Knobs
+	if len(dl.rservers) != k.ServerRanks {
+		o.diverge("delegate", "stats", "%d read-phase server reports, want %d", len(dl.rservers), k.ServerRanks)
+		return
+	}
+	var pieceSum int64
+	for fi := range dl.r {
+		for _, rs := range dl.r[fi] {
+			pieceSum += rs.ReadReqs
+		}
+	}
+	var readReqs, colBlocks, fsReads int64
+	for _, s := range dl.rservers {
+		readReqs += s.ReadReqs
+		colBlocks += s.CollectiveBlocks
+		fsReads += s.FSReads
+		if k.ServerCacheBlocks == 0 && s.CacheHits+s.CacheMisses+s.CacheEvictions != 0 {
+			o.diverge("delegate", "stats", "server %d counted cache traffic (%d/%d/%d) with the cache disarmed",
+				s.Rank, s.CacheHits, s.CacheMisses, s.CacheEvictions)
+		}
+		if k.ServerCacheBlocks > 0 {
+			// Every served read request and every collective block is exactly
+			// one hit or one miss while the cache is armed.
+			if s.CacheHits+s.CacheMisses != s.ReadReqs+s.CollectiveBlocks {
+				o.diverge("delegate", "stats", "server %d cache hits %d + misses %d != reads %d + collective blocks %d",
+					s.Rank, s.CacheHits, s.CacheMisses, s.ReadReqs, s.CollectiveBlocks)
+			}
+			if s.CacheEvictions > s.CacheMisses {
+				o.diverge("delegate", "stats", "server %d evicted %d blocks but filled only %d",
+					s.Rank, s.CacheEvictions, s.CacheMisses)
+			}
+		}
+		if k.CollectiveRead {
+			// One intent epoch per file per collective point: each read
+			// round's Fetch plus Close's, on every server — the delegated
+			// mirror of tcio's TwoPhaseExchanges count.
+			if want := int64(k.Files) * int64(len(p.ReadRounds)+1); s.ReadEpochs != want {
+				o.diverge("delegate", "stats", "server %d closed %d read epochs, want %d (files x rounds+close)",
+					s.Rank, s.ReadEpochs, want)
+			}
+			if s.ReadReqs != 0 {
+				o.diverge("delegate", "stats", "server %d served %d inline reads in collective mode",
+					s.Rank, s.ReadReqs)
+			}
+		} else if s.ReadEpochs != 0 || s.CollectiveBlocks != 0 {
+			o.diverge("delegate", "stats", "server %d closed %d read epochs (%d blocks) with collective read off",
+				s.Rank, s.ReadEpochs, s.CollectiveBlocks)
+		}
+	}
+	if !k.CollectiveRead && readReqs != pieceSum {
+		o.diverge("delegate", "stats", "servers served %d read requests, clients sent %d pieces", readReqs, pieceSum)
+	}
+	if fsReads != dl.fsReads {
+		o.diverge("delegate", "stats", "servers report %d FSReads, file system served %d", fsReads, dl.fsReads)
+	}
+	if k.ServerCacheBlocks == 0 && !k.CollectiveRead && fsReads != pieceSum {
+		// The disarmed read path keeps the per-request identity: one file
+		// system read of exactly the piece's length per client piece.
+		o.diverge("delegate", "stats", "disarmed read path issued %d fs reads for %d client pieces", fsReads, pieceSum)
 	}
 }

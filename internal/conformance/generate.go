@@ -155,6 +155,20 @@ func genKnobs(rng *rand.Rand, class int, seed, segSize int64) Knobs {
 		if rng.Intn(3) == 0 {
 			k.DemandPopulate = true // pass-through read-path variety
 		}
+		// Read-path knobs. The cache leans armed (the stale-serve mutant
+		// lives behind it) with a capacity above any program's total block
+		// count, so the one racy counter — eviction order — never reaches
+		// the differential run. The quantum sweeps the DRR scheduler, whose
+		// oracle is that nothing but service order may change. Collective
+		// reads (delegated intent epochs when ServerRanks > 0, tcio's
+		// two-phase exchange in pass-through) pair with DemandPopulate, the
+		// read mode the two-phase staging assumes.
+		k.ServerCacheBlocks = []int{0, 64, 64, 64}[rng.Intn(4)]
+		k.ReadQuantum = []int64{0, 8, 32, 128}[rng.Intn(4)]
+		if rng.Intn(2) == 0 {
+			k.CollectiveRead = true
+			k.DemandPopulate = true
+		}
 	case 7: // crash consistency: journaled epochs, kill-anywhere replay
 		k.Journal = true
 		k.CrashKills = 2 + rng.Intn(4)

@@ -79,6 +79,13 @@ type Knobs struct {
 	ServerRanks int `json:"server_ranks,omitempty"`
 	Files       int `json:"files,omitempty"`
 	QueueDepth  int `json:"queue_depth,omitempty"`
+	// ServerCacheBlocks arms each delegation server's hot-block read
+	// cache (0 = disarmed, the bit-identical pass-through); ReadQuantum
+	// arms deficit-round-robin read scheduling on the servers (0 = inline
+	// arrival order). CollectiveRead above additionally switches delegated
+	// reads to server-merged intent epochs when ServerRanks > 0.
+	ServerCacheBlocks int   `json:"server_cache_blocks,omitempty"`
+	ReadQuantum       int64 `json:"read_quantum,omitempty"`
 
 	// Crash class (class 7). Journal arms tcio's journaled-epoch tier;
 	// SegmentMemoryBudget bounds the resident level-2 segments (the spill
@@ -235,7 +242,8 @@ func (p *Program) Validate() error {
 		return fmt.Errorf("conformance: %d aggregators with %d procs", p.Knobs.Aggregators, p.Procs)
 	case p.Knobs.ServerRanks < 0 || p.Knobs.ServerRanks >= p.Procs:
 		return fmt.Errorf("conformance: %d server ranks with %d procs", p.Knobs.ServerRanks, p.Procs)
-	case p.Knobs.Files < 0 || p.Knobs.QueueDepth < 0:
+	case p.Knobs.Files < 0 || p.Knobs.QueueDepth < 0 ||
+		p.Knobs.ServerCacheBlocks < 0 || p.Knobs.ReadQuantum < 0:
 		return fmt.Errorf("conformance: negative delegation knob: %+v", p.Knobs)
 	case p.Knobs.SegmentMemoryBudget < 0 || p.Knobs.CrashKills < 0:
 		return fmt.Errorf("conformance: negative crash knob: %+v", p.Knobs)

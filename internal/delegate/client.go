@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/faults"
 	"github.com/tcio/tcio/internal/mpi"
 	"github.com/tcio/tcio/internal/tcio"
 )
@@ -76,6 +78,17 @@ type File struct {
 	pos    int64
 	closed bool
 	stats  Stats
+
+	// colReads queues read pieces per server index between collective
+	// points when collectiveRead is armed; Fetch ships them as intents
+	// and scatters the replies.
+	colReads [][]colRead
+}
+
+// colRead is one queued collective read piece (within one domain block).
+type colRead struct {
+	off int64
+	dst []byte
 }
 
 // Open opens name on every server (or directly through tcio in
@@ -119,6 +132,24 @@ func (t *Tier) request(si int, req *mpi.RPCRequest) error {
 // whose domain holds it.
 func (t *Tier) owner(off int64) int {
 	return int((off / t.cfg.DomainSize) % int64(len(t.servers)))
+}
+
+// collectiveRead reports whether delegated reads run collectively: the
+// tier is delegated and the tcio CollectiveRead knob is armed, which
+// moves the two-phase intent exchange server-side (see readepoch.go).
+func (t *Tier) collectiveRead() bool {
+	return t.servers != nil && t.tcfg.CollectiveRead
+}
+
+// replyErr turns a failed reply into a client error, resurrecting the
+// typed exhausted-retries class from the wire code so callers keep their
+// errors.Is(err, faults.ErrExhaustedRetries) checks across the protocol.
+func replyErr(op, name string, rep *mpi.RPCReply) error {
+	if rep.Code == mpi.RPCErrExhausted {
+		return fmt.Errorf("delegate: %s %q: %w (server: %s)",
+			op, name, faults.ErrExhaustedRetries, rep.Err)
+	}
+	return fmt.Errorf("delegate: %s %q: %s", op, name, rep.Err)
 }
 
 // Name reports the file name. Handle reports the protocol handle (-1 in
@@ -212,10 +243,11 @@ func (f *File) WriteAt(off int64, data []byte) error {
 	return nil
 }
 
-// Read returns n bytes from the file pointer and advances it. Unlike
-// tcio's lazy queue, delegation reads are synchronous: the returned
-// buffer is already filled. (Pass-through keeps tcio's semantics — call
-// Fetch before relying on the bytes.)
+// Read returns n bytes from the file pointer and advances it. Delegated
+// reads are synchronous — the returned buffer is already filled — unless
+// collective reads are armed (delegation + CollectiveRead), which makes
+// them lazy like tcio's read queue: call Fetch before relying on the
+// bytes. (Pass-through keeps tcio's lazy semantics throughout.)
 func (f *File) Read(n int64) ([]byte, error) {
 	if f.direct != nil {
 		f.stats.Reads++
@@ -249,6 +281,25 @@ func (f *File) ReadAt(off int64, dst []byte) error {
 	f.stats.ReadBytes += int64(len(dst))
 	t := f.t
 	ds := t.cfg.DomainSize
+	if t.collectiveRead() {
+		// Collective mode: queue the pieces; Fetch is the collective
+		// point that ships them as read intents.
+		if f.colReads == nil {
+			f.colReads = make([][]colRead, len(t.servers))
+		}
+		for len(dst) > 0 {
+			n := (off/ds+1)*ds - off
+			if n > int64(len(dst)) {
+				n = int64(len(dst))
+			}
+			si := t.owner(off)
+			f.colReads[si] = append(f.colReads[si], colRead{off: off, dst: dst[:n]})
+			f.stats.ReadReqs++
+			off += n
+			dst = dst[n:]
+		}
+		return nil
+	}
 	// Ship every piece before collecting: per-(client, server) FIFO in
 	// both directions means replies come back in request order, so the
 	// pieces pipeline across servers instead of round-tripping one by one.
@@ -281,7 +332,7 @@ func (f *File) ReadAt(off int64, dst []byte) error {
 			return err
 		}
 		if !rep.OK {
-			return fmt.Errorf("delegate: read %q: %s", f.name, rep.Err)
+			return replyErr("read", f.name, rep)
 		}
 		if rep.Seq != p.seq || len(rep.Data) != len(p.dst) {
 			return fmt.Errorf("delegate: read %q: reply seq %d len %d, want seq %d len %d",
@@ -292,11 +343,63 @@ func (f *File) ReadAt(off int64, dst []byte) error {
 	return nil
 }
 
-// Fetch materializes queued lazy reads in pass-through mode; delegation
-// reads are synchronous, so it is a no-op there.
+// Fetch materializes queued lazy reads. In pass-through mode it defers
+// to tcio; with collective reads armed it is the collective point that
+// runs one delegated read epoch (every client of the file must call it,
+// even with nothing queued — the server's epoch quorum is all clients);
+// otherwise delegated reads are synchronous and it is a no-op.
 func (f *File) Fetch() error {
 	if f.direct != nil {
 		return f.direct.Fetch()
+	}
+	if f.t.collectiveRead() && f.mode == tcio.ReadMode {
+		return f.fetchCollective()
+	}
+	return nil
+}
+
+// fetchCollective runs one collective read epoch: one intent per server
+// (empty ones included, completing the quorum), then replies collected in
+// server order and scattered back into the queued pieces' buffers.
+func (f *File) fetchCollective() error {
+	t := f.t
+	if f.colReads == nil {
+		f.colReads = make([][]colRead, len(t.servers))
+	}
+	seqs := make([]int64, len(t.servers))
+	for si := range t.servers {
+		runs := make([]extent.Extent, len(f.colReads[si]))
+		for i, p := range f.colReads[si] {
+			runs[i] = extent.Extent{Off: p.off, Len: int64(len(p.dst))}
+		}
+		seqs[si] = t.seqs[si]
+		if err := t.request(si, &mpi.RPCRequest{
+			Op: mpi.OpReadIntent, Handle: f.handle, Data: encodeIntent(runs),
+		}); err != nil {
+			return err
+		}
+	}
+	for si := range t.servers {
+		rep, err := t.c.RecvReply(t.servers[si], tagReply)
+		if err != nil {
+			return err
+		}
+		if !rep.OK {
+			return replyErr("read", f.name, rep)
+		}
+		var want int
+		for _, p := range f.colReads[si] {
+			want += len(p.dst)
+		}
+		if rep.Seq != seqs[si] || len(rep.Data) != want {
+			return fmt.Errorf("delegate: read %q: intent reply seq %d len %d, want seq %d len %d",
+				f.name, rep.Seq, len(rep.Data), seqs[si], want)
+		}
+		pos := 0
+		for _, p := range f.colReads[si] {
+			pos += copy(p.dst, rep.Data[pos:pos+len(p.dst)])
+		}
+		f.colReads[si] = f.colReads[si][:0]
 	}
 	return nil
 }
@@ -337,7 +440,7 @@ func (f *File) Flush() error {
 			return err
 		}
 		if !rep.OK {
-			return fmt.Errorf("delegate: flush %q: %s", f.name, rep.Err)
+			return replyErr("flush", f.name, rep)
 		}
 	}
 	f.stats.Flushes++
@@ -358,6 +461,14 @@ func (f *File) Close() error {
 		}
 	}
 	t := f.t
+	if f.mode == tcio.ReadMode && t.collectiveRead() {
+		// One final collective epoch materializes any still-queued reads
+		// and keeps every server's quorum complete — Close is collective
+		// over the clients, like Open.
+		if err := f.fetchCollective(); err != nil {
+			return err
+		}
+	}
 	for si := range t.servers {
 		if err := t.request(si, &mpi.RPCRequest{Op: mpi.OpClose, Handle: f.handle}); err != nil {
 			return err

@@ -57,6 +57,19 @@ type Config struct {
 	// 0 means four tcio segments, so one domain block spans several
 	// segment drains' worth of coalescing opportunity.
 	DomainSize int64
+	// ServerCacheBlocks is each server's hot-block cache capacity in
+	// domain blocks: repeat and cross-client reads of a cached block are
+	// served from server memory instead of the file system. 0 disables
+	// the cache, leaving the read path's request identity bit-identical
+	// to the uncached tier (pinned by TestDelegateReadPathDisarmed).
+	ServerCacheBlocks int
+	// ReadQuantum is the deficit-round-robin quantum, in bytes, for fair
+	// read scheduling across client ranks: servers queue read requests
+	// and drain them between writes, granting each client quantum bytes
+	// of deficit per round, so one client's large sieved reads cannot
+	// starve another's small reads. 0 serves each read inline in arrival
+	// order, exactly as before.
+	ReadQuantum int64
 	// TCIO configures the pass-through engine (ServerRanks == 0) and
 	// supplies the segment geometry DomainSize defaults from.
 	TCIO tcio.Config
@@ -79,6 +92,12 @@ func Run(c *mpi.Comm, cfg Config, body func(*Tier) error) error {
 	}
 	if cfg.DomainSize < 0 {
 		return fmt.Errorf("delegate: domain size %d", cfg.DomainSize)
+	}
+	if cfg.ServerCacheBlocks < 0 {
+		return fmt.Errorf("delegate: server cache blocks %d", cfg.ServerCacheBlocks)
+	}
+	if cfg.ReadQuantum < 0 {
+		return fmt.Errorf("delegate: read quantum %d", cfg.ReadQuantum)
 	}
 	if cfg.ServerRanks == 0 {
 		// Pass-through: no protocol, no placement, no extra collectives —

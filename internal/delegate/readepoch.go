@@ -1,0 +1,205 @@
+package delegate
+
+// Delegated collective reads: the server-side half of tcio's two-phase
+// read exchange. When the tier is delegated and the tcio CollectiveRead
+// knob is armed, clients stop shipping one OpRead per domain piece and
+// instead queue pieces locally; Fetch becomes the collective point where
+// every client ships its read-intent vector (fixed-width off/len runs)
+// to every server in one OpReadIntent. A server holds the intents until
+// all clients have contributed — the same static quorum flush epochs use
+// — then closes the read epoch: it merges the union of requested blocks
+// across clients, stages each block once through the hot-block cache,
+// fetches the missing blocks in one coalesced ReadExtents batch
+// (mirroring closeEpoch's write shape), and replies to each client in
+// sorted rank order. N clients re-reading the same blocks cost one file
+// system fetch, not N.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/tcio/tcio/internal/extent"
+	"github.com/tcio/tcio/internal/mpi"
+	"github.com/tcio/tcio/internal/mutate"
+	"github.com/tcio/tcio/internal/storage"
+	"github.com/tcio/tcio/internal/trace"
+)
+
+// intentRunWire is the wire width of one read-intent run: off and len,
+// both int64 little-endian.
+const intentRunWire = 16
+
+// encodeIntent packs runs into an OpReadIntent payload. Runs are already
+// split at domain-block boundaries by the client, so each decodes back to
+// a single-block extent.
+func encodeIntent(runs []extent.Extent) []byte {
+	buf := make([]byte, len(runs)*intentRunWire)
+	for i, r := range runs {
+		binary.LittleEndian.PutUint64(buf[i*intentRunWire:], uint64(r.Off))
+		binary.LittleEndian.PutUint64(buf[i*intentRunWire+8:], uint64(r.Len))
+	}
+	return buf
+}
+
+func decodeIntent(data []byte) ([]extent.Extent, error) {
+	if len(data)%intentRunWire != 0 {
+		return nil, fmt.Errorf("delegate: read intent of %d bytes", len(data))
+	}
+	runs := make([]extent.Extent, len(data)/intentRunWire)
+	for i := range runs {
+		runs[i] = extent.Extent{
+			Off: int64(binary.LittleEndian.Uint64(data[i*intentRunWire:])),
+			Len: int64(binary.LittleEndian.Uint64(data[i*intentRunWire+8:])),
+		}
+	}
+	return runs, nil
+}
+
+// readIntent stages one client's intent vector and closes the read epoch
+// once every client has contributed. Like flush markers, intents ride the
+// same per-client FIFO stream as data requests, so the quorum needs no
+// extra handshake.
+func (s *server) readIntent(req *mpi.RPCRequest) error {
+	h, err := s.lookup(req)
+	if err != nil {
+		return err
+	}
+	if _, dup := h.intents[req.Client]; dup {
+		return fmt.Errorf("delegate: double read intent for handle %d from rank %d",
+			req.Handle, req.Client)
+	}
+	runs, err := decodeIntent(req.Data)
+	if err != nil {
+		return err
+	}
+	h.intents[req.Client] = runs
+	h.intentSeqs[req.Client] = req.Seq
+	if len(h.intents) < s.clients {
+		return nil
+	}
+	return s.closeReadEpoch(h)
+}
+
+// closeReadEpoch merges the epoch's intents, stages each requested block
+// once through the cache, fetches the rest in one coalesced batch, and
+// scatters per-client replies in sorted rank order. The union fetch is
+// the server's own doing — no single client asked for it — so it runs on
+// the server's drain client and carries the server's fault identity,
+// which also makes the fetch deterministic regardless of intent arrival
+// order.
+func (s *server) closeReadEpoch(h *handleFile) error {
+	ds := s.cfg.DomainSize
+	need := make(map[int64]bool)
+	for _, runs := range h.intents {
+		for _, r := range runs {
+			need[r.Off/ds] = true
+		}
+	}
+	blks := make([]int64, 0, len(need))
+	for blk := range need {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+
+	// Stage every block: cache hits serve in place, everything else — misses,
+	// dirty-bypassed blocks, the disarmed tier — joins one fetch batch.
+	blkBuf := make(map[int64][]byte, len(blks))
+	var fetched []int64
+	var reqs []storage.Request
+	for _, blk := range blks {
+		s.stats.CollectiveBlocks++
+		key := blockKey{name: h.name, blk: blk}
+		if s.cache != nil && s.dirty[key] == 0 {
+			if buf, ok := s.cache.get(key); ok {
+				s.stats.CacheHits++
+				s.traceCacheServe(ds, blk)
+				blkBuf[blk] = buf
+				continue
+			}
+		}
+		if s.cache != nil {
+			s.stats.CacheMisses++
+		}
+		buf := mpi.GetBuf(int(ds))
+		blkBuf[blk] = buf
+		fetched = append(fetched, blk)
+		reqs = append(reqs, storage.Request{
+			Off: blk * ds, Data: buf, Tag: fmt.Sprintf("blk=%d", blk),
+		})
+	}
+	var fillErr error
+	if len(reqs) > 0 {
+		if mutate.Enabled(mutate.DelegateCacheStaleServe) && s.cache != nil {
+			// Planted bug: "fill" the missing blocks without ever reading
+			// the file system, so replies and later hits serve zeros.
+			for _, r := range reqs {
+				for i := range r.Data {
+					r.Data[i] = 0
+				}
+			}
+		} else {
+			res, err := h.drain.ReadExtents("delegate-colread", trace.KindFetch, reqs)
+			fillErr = err
+			s.stats.FSReads += res.Requests
+			s.stats.FSBytes += res.Bytes
+			s.stats.Retries += res.Retries
+		}
+	}
+	s.stats.ReadEpochs++
+
+	clients := make([]int, 0, len(h.intents))
+	for cl := range h.intents {
+		clients = append(clients, cl)
+	}
+	sort.Ints(clients)
+	for _, cl := range clients {
+		rep := &mpi.RPCReply{Seq: h.intentSeqs[cl]}
+		var data []byte
+		if fillErr != nil {
+			rep.Code, rep.Err = errCode(fillErr), fillErr.Error()
+		} else {
+			var total int64
+			for _, r := range h.intents[cl] {
+				total += r.Len
+			}
+			data = mpi.GetBuf(int(total))
+			var pos int64
+			for _, r := range h.intents[cl] {
+				blk := r.Off / ds
+				rel := r.Off - blk*ds
+				pos += int64(copy(data[pos:], blkBuf[blk][rel:rel+r.Len]))
+			}
+			rep.OK, rep.Data = true, data
+		}
+		err := s.c.SendReply(cl, tagReply, rep)
+		if data != nil {
+			mpi.RecycleBuf(data)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// Retire the fetched buffers only now that no reply references any
+	// block buffer: inserting earlier could evict — and recycle — a
+	// hit-path buffer a later client's reply still reads from.
+	for _, blk := range fetched {
+		buf := blkBuf[blk]
+		key := blockKey{name: h.name, blk: blk}
+		if s.cache != nil && fillErr == nil && s.dirty[key] == 0 {
+			if displaced, evicted := s.cache.put(key, buf); displaced != nil {
+				mpi.RecycleBuf(displaced)
+				if evicted {
+					s.stats.CacheEvictions++
+				}
+			}
+			continue
+		}
+		mpi.RecycleBuf(buf)
+	}
+	for cl := range h.intents {
+		delete(h.intents, cl)
+		delete(h.intentSeqs, cl)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@ package delegate
 // order, making the drained batch and the file image deterministic.
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -45,6 +46,19 @@ type ServerStats struct {
 	FSReads  int64
 	FSBytes  int64
 	Retries  int64
+	// ReadReqs counts OpRead requests served (inline or via the DRR
+	// scheduler); ReadEpochs collective read epochs closed, and
+	// CollectiveBlocks the merged domain blocks those epochs staged.
+	ReadReqs         int64
+	ReadEpochs       int64
+	CollectiveBlocks int64
+	// CacheHits/CacheMisses/CacheEvictions count hot-block cache
+	// outcomes: every served read request and every collective block is
+	// exactly one hit or miss while the cache is armed, and all three
+	// stay zero while it is disarmed.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // Collector gathers ServerStats across server ranks (they finish as
@@ -92,6 +106,11 @@ type handleFile struct {
 	staged  []writeRec
 	flushed map[int]bool
 	epoch   int64
+	// intents and intentSeqs hold the current collective read epoch's
+	// per-client intent vectors and request sequence numbers; the epoch
+	// closes when every client has contributed (the flush quorum rule).
+	intents    map[int][]extent.Extent
+	intentSeqs map[int]int64
 }
 
 type server struct {
@@ -102,6 +121,15 @@ type server struct {
 	clients int // client-rank count: the flush-epoch quorum
 	handles map[int32]*handleFile
 	stats   ServerStats
+	// cache is the hot-block cache (nil when ServerCacheBlocks == 0) and
+	// dirty counts staged-but-undrained writes per (file, block): a block
+	// with dirty records bypasses the cache entirely, so a read between a
+	// write and its flush epoch never sees bytes the drain hasn't applied.
+	cache *blockCache
+	dirty map[blockKey]int
+	// sched queues reads for deficit-round-robin draining (nil when
+	// ReadQuantum == 0, which serves reads inline in arrival order).
+	sched *drrSched
 }
 
 // serve runs the delegation request loop on a server rank until every
@@ -118,7 +146,17 @@ func serve(c *mpi.Comm, cfg Config, tcfg tcio.Config, serverRanks []int) error {
 		srv.retry = *tcfg.Retry
 	}
 	srv.clients = c.Size() - len(serverRanks)
-	err := c.Serve(tagRequest, srv.clients, serverPerReq, srv.handle)
+	if cfg.ServerCacheBlocks > 0 {
+		srv.cache = newBlockCache(cfg.ServerCacheBlocks)
+		srv.dirty = make(map[blockKey]int)
+	}
+	var err error
+	if cfg.ReadQuantum > 0 {
+		srv.sched = newDRR(cfg.ReadQuantum)
+		err = srv.loop()
+	} else {
+		err = c.Serve(tagRequest, srv.clients, serverPerReq, srv.handle)
+	}
 	if cfg.Collect != nil {
 		srv.stats.Rank = c.Rank()
 		cfg.Collect.add(srv.stats)
@@ -137,10 +175,57 @@ func (s *server) handle(req *mpi.RPCRequest) error {
 		return s.read(req)
 	case mpi.OpFlush:
 		return s.flush(req)
+	case mpi.OpReadIntent:
+		return s.readIntent(req)
 	case mpi.OpClose:
 		return s.close(req)
 	}
 	return fmt.Errorf("delegate: unexpected %s", req.Op)
+}
+
+// loop is the scheduling variant of mpi.Serve, used when ReadQuantum > 0:
+// reads are queued into the DRR scheduler instead of served inline, and
+// drained one round at a time whenever no new request is waiting — that
+// is, between writes. A blocking receive happens only with an empty read
+// queue, so queued reads cannot be stranded behind it; and a client
+// always collects its read replies before it can send OpShutdown, so loop
+// exit implies an empty scheduler.
+func (s *server) loop() error {
+	for remaining := s.clients; remaining > 0; {
+		req, ok, err := s.c.TryRecvRequest(mpi.AnySource, tagRequest)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			if s.sched.pending() > 0 {
+				for _, rq := range s.sched.round() {
+					if err := s.read(rq); err != nil {
+						return fmt.Errorf("delegate: serve tag %d: %s from rank %d: %w",
+							tagRequest, rq.Op, rq.Client, err)
+					}
+				}
+				continue
+			}
+			if req, err = s.c.RecvRequest(mpi.AnySource, tagRequest); err != nil {
+				return err
+			}
+		}
+		s.c.AdvanceTo(s.c.Now().Add(serverPerReq))
+		if req.Op == mpi.OpShutdown {
+			remaining--
+			continue
+		}
+		if req.Op == mpi.OpRead {
+			s.stats.Requests++
+			s.sched.push(req.Client, req)
+			continue
+		}
+		if err := s.handle(req); err != nil {
+			return fmt.Errorf("delegate: serve tag %d: %s from rank %d: %w",
+				tagRequest, req.Op, req.Client, err)
+		}
+	}
+	return nil
 }
 
 func (s *server) open(req *mpi.RPCRequest) error {
@@ -152,12 +237,14 @@ func (s *server) open(req *mpi.RPCRequest) error {
 		drain.SetRetryPolicy(s.retry)
 		drain.SetTrace(s.tcfg.Trace)
 		h = &handleFile{
-			name:    name,
-			mode:    mode,
-			pf:      pf,
-			drain:   drain,
-			readers: make(map[int]*storage.Client),
-			flushed: make(map[int]bool),
+			name:       name,
+			mode:       mode,
+			pf:         pf,
+			drain:      drain,
+			readers:    make(map[int]*storage.Client),
+			flushed:    make(map[int]bool),
+			intents:    make(map[int][]extent.Extent),
+			intentSeqs: make(map[int]int64),
 		}
 		s.handles[req.Handle] = h
 	}
@@ -188,24 +275,117 @@ func (s *server) write(req *mpi.RPCRequest) error {
 	})
 	s.stats.StagedWrites++
 	s.stats.StagedBytes += int64(len(req.Data))
+	if s.cache != nil {
+		// The block now has a staged-but-undrained write: reads must
+		// bypass the cache for it until the flush epoch drains (and
+		// writes through) — see closeEpoch.
+		s.dirty[blockKey{name: h.name, blk: req.Off / s.cfg.DomainSize}]++
+	}
 	// Grant the admission credit back now that the record is staged.
 	return s.c.Send(req.Client, tagCredit, []byte{1})
 }
 
+// reader returns (creating on first use) the storage client that
+// impersonates the requesting rank for h, so the parallel file system's
+// readahead window and the fault injector's identity keys see the same
+// per-client streams they would without delegation.
+func (s *server) reader(h *handleFile, client int) *storage.Client {
+	rd := h.readers[client]
+	if rd == nil {
+		rd = storage.NewClient(h.pf, s.c.Node(), client, s.c)
+		rd.SetRetryPolicy(s.retry)
+		rd.SetTrace(s.tcfg.Trace)
+		h.readers[client] = rd
+	}
+	return rd
+}
+
+// errCode classifies a storage-layer error for the reply's wire code, so
+// the client can surface a typed error instead of a flattened string.
+func errCode(err error) mpi.RPCErrCode {
+	if errors.Is(err, faults.ErrExhaustedRetries) {
+		return mpi.RPCErrExhausted
+	}
+	return mpi.RPCErrGeneric
+}
+
+// traceCacheServe records one cache hit in the trace stream.
+func (s *server) traceCacheServe(bytes, blk int64) {
+	if s.tcfg.Trace == nil {
+		return
+	}
+	s.tcfg.Trace.Record(trace.Event{
+		Rank: s.c.Rank(), Start: s.c.Now(), Kind: trace.KindCacheServe,
+		Bytes: bytes, Detail: fmt.Sprintf("blk=%d", blk),
+	})
+}
+
+// read serves one OpRead. Requests are split at domain-block boundaries
+// by the client, so each lies within a single block. With the cache
+// armed, a clean cached block serves from memory; a clean uncached block
+// fills whole through the requesting client's reader and is cached; a
+// dirty block (staged-but-undrained writes) bypasses the cache with a
+// per-request read, exactly the disarmed tier's shape.
 func (s *server) read(req *mpi.RPCRequest) error {
 	h, err := s.lookup(req)
 	if err != nil {
 		return err
 	}
-	rd := h.readers[req.Client]
-	if rd == nil {
-		rd = storage.NewClient(h.pf, s.c.Node(), req.Client, s.c)
-		rd.SetRetryPolicy(s.retry)
-		rd.SetTrace(s.tcfg.Trace)
-		h.readers[req.Client] = rd
+	s.stats.ReadReqs++
+	ds := s.cfg.DomainSize
+	key := blockKey{name: h.name, blk: req.Off / ds}
+	if s.cache != nil && s.dirty[key] == 0 {
+		if cbuf, ok := s.cache.get(key); ok {
+			s.stats.CacheHits++
+			s.traceCacheServe(req.Len, key.blk)
+			rel := req.Off - key.blk*ds
+			// SendReply copies synchronously into its wire staging, so
+			// serving a slice of the live entry is safe and zero-copy.
+			return s.c.SendReply(req.Client, tagReply, &mpi.RPCReply{
+				OK: true, Seq: req.Seq, Data: cbuf[rel : rel+req.Len],
+			})
+		}
+		s.stats.CacheMisses++
+		buf := mpi.GetBuf(int(ds))
+		var res storage.Result
+		if mutate.Enabled(mutate.DelegateCacheStaleServe) {
+			// Planted bug: "fill" the block without reading the file
+			// system, so this reply and every later hit serve zeros.
+			for i := range buf {
+				buf[i] = 0
+			}
+		} else {
+			res, err = s.reader(h, req.Client).ReadExtents("delegate-fill", trace.KindFetch, []storage.Request{
+				{Off: key.blk * ds, Data: buf, Tag: fmt.Sprintf("c%d", req.Client)},
+			})
+		}
+		s.stats.FSReads += res.Requests
+		s.stats.FSBytes += res.Bytes
+		s.stats.Retries += res.Retries
+		if err != nil {
+			mpi.RecycleBuf(buf)
+			return s.c.SendReply(req.Client, tagReply, &mpi.RPCReply{
+				Code: errCode(err), Err: err.Error(), Seq: req.Seq,
+			})
+		}
+		rel := req.Off - key.blk*ds
+		sendErr := s.c.SendReply(req.Client, tagReply, &mpi.RPCReply{
+			OK: true, Seq: req.Seq, Data: buf[rel : rel+req.Len],
+		})
+		if displaced, evicted := s.cache.put(key, buf); displaced != nil {
+			mpi.RecycleBuf(displaced)
+			if evicted {
+				s.stats.CacheEvictions++
+			}
+		}
+		return sendErr
 	}
-	buf := make([]byte, req.Len)
-	res, err := rd.ReadExtents("delegate-read", trace.KindFetch, []storage.Request{
+	if s.cache != nil {
+		// Dirty block: served, but never from or into the cache.
+		s.stats.CacheMisses++
+	}
+	buf := mpi.GetBuf(int(req.Len))
+	res, err := s.reader(h, req.Client).ReadExtents("delegate-read", trace.KindFetch, []storage.Request{
 		{Off: req.Off, Data: buf, Tag: fmt.Sprintf("c%d", req.Client)},
 	})
 	s.stats.FSReads += res.Requests
@@ -213,9 +393,11 @@ func (s *server) read(req *mpi.RPCRequest) error {
 	s.stats.Retries += res.Retries
 	rep := &mpi.RPCReply{OK: err == nil, Seq: req.Seq, Data: buf}
 	if err != nil {
-		rep.Err, rep.Data = err.Error(), nil
+		rep.Code, rep.Err, rep.Data = errCode(err), err.Error(), nil
 	}
-	return s.c.SendReply(req.Client, tagReply, rep)
+	sendErr := s.c.SendReply(req.Client, tagReply, rep)
+	mpi.RecycleBuf(buf)
+	return sendErr
 }
 
 func (s *server) flush(req *mpi.RPCRequest) error {
@@ -248,8 +430,22 @@ type blockStage struct {
 
 // closeEpoch applies the epoch's staged writes in (client, seq) order —
 // last write wins, deterministically — coalesces them per domain block,
-// drains one batch, and acks the flushed clients in rank order.
+// drains one batch, and acks the flushed clients in rank order. Drained
+// runs write through into live cache entries (and clear the blocks'
+// dirty counters), so post-flush reads hit coherent bytes.
 func (s *server) closeEpoch(h *handleFile) error {
+	if s.cache != nil {
+		// Every staged record retires with this epoch; a block goes clean
+		// again once its last staged write drains.
+		for _, rec := range h.staged {
+			key := blockKey{name: h.name, blk: rec.off / s.cfg.DomainSize}
+			if n := s.dirty[key]; n <= 1 {
+				delete(s.dirty, key)
+			} else {
+				s.dirty[key] = n - 1
+			}
+		}
+	}
 	sort.Slice(h.staged, func(i, j int) bool {
 		a, b := h.staged[i], h.staged[j]
 		if a.client != b.client {
@@ -267,11 +463,14 @@ func (s *server) closeEpoch(h *handleFile) error {
 		blk := rec.off / ds
 		st := blocks[blk]
 		if st == nil {
-			// Plain staging memory, outside the simulated-memory
+			// Pooled staging memory, outside the simulated-memory
 			// accountant: server staging must not perturb the per-rank
 			// allocation fault stream (the same rule tcio's populate and
-			// prefetch scratch follows).
-			st = &blockStage{buf: make([]byte, ds)}
+			// prefetch scratch follows). The pool hands back stale bytes,
+			// which is safe here: the coalesced runs cover exactly the
+			// staged writes' bytes, and only run-covered slices are ever
+			// drained or written through.
+			st = &blockStage{buf: mpi.GetBuf(int(ds))}
 			blocks[blk] = st
 			order = append(order, blk)
 		}
@@ -300,6 +499,26 @@ func (s *server) closeEpoch(h *handleFile) error {
 		s.stats.FSBytes += res.Bytes
 		s.stats.Retries += res.Retries
 	}
+	// Write the drained runs through into live cache entries so they stay
+	// coherent (a failed drain invalidates instead — the entry's bytes can
+	// no longer be trusted to match the file), then retire the pooled
+	// staging buffers.
+	for _, blk := range order {
+		st := blocks[blk]
+		if s.cache != nil {
+			key := blockKey{name: h.name, blk: blk}
+			if drainErr == nil {
+				if cbuf, ok := s.cache.peek(key); ok {
+					for _, run := range st.runs {
+						copy(cbuf[run.Off:run.End()], st.buf[run.Off:run.End()])
+					}
+				}
+			} else if cbuf, ok := s.cache.invalidate(key); ok {
+				mpi.RecycleBuf(cbuf)
+			}
+		}
+		mpi.RecycleBuf(st.buf)
+	}
 	s.stats.Epochs++
 	h.epoch++
 	acked := make([]int, 0, len(h.flushed))
@@ -310,7 +529,7 @@ func (s *server) closeEpoch(h *handleFile) error {
 	for _, cl := range acked {
 		rep := &mpi.RPCReply{OK: drainErr == nil, Seq: h.epoch}
 		if drainErr != nil {
-			rep.Err = drainErr.Error()
+			rep.Code, rep.Err = errCode(drainErr), drainErr.Error()
 		}
 		if err := s.c.SendReply(cl, tagReply, rep); err != nil {
 			return err

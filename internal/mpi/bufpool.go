@@ -61,6 +61,17 @@ func recycleBuf(b []byte) {
 	msgPools[bits.TrailingZeros(uint(c))-minPoolShift].Put(&b)
 }
 
+// GetBuf hands out a length-n buffer from the runtime's size-classed
+// staging pools — the same free lists the message path draws from — for
+// callers outside the package that stage transient I/O buffers (the
+// delegation tier's read and epoch staging). The contents are stale pool
+// bytes; callers must overwrite every byte they expose.
+func GetBuf(n int) []byte { return getBuf(n) }
+
+// RecycleBuf returns a GetBuf buffer to its pool. The caller must be the
+// buffer's sole remaining owner.
+func RecycleBuf(b []byte) { recycleBuf(b) }
+
 // Recycle returns a delivered payload to the runtime's staging-buffer pool.
 // The caller must be the payload's sole owner: point-to-point payloads
 // (Recv, Request.Wait, Alltoallv) are delivered to exactly one rank and are

@@ -238,6 +238,42 @@ func (m *mailbox) take(src, tag int, abortedErr func() error) (envelope, error) 
 	}
 }
 
+// tryTake is take without blocking: it removes and returns a matching
+// message if one is buffered right now, else reports ok == false. The
+// matching rules (FIFO per pair, deposit order across pairs for
+// wildcards) are identical to take's.
+func (m *mailbox) tryTake(src, tag int) (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if src != AnySource && tag != AnyTag {
+		if q := m.keyed[srcTag{src, tag}]; q != nil && !q.empty() {
+			return q.pop(), true
+		}
+		return envelope{}, false
+	}
+	if !m.wild {
+		m.activateWild()
+	}
+	var l *keyList
+	switch {
+	case src == AnySource && tag == AnyTag:
+		l = &m.all
+	case src == AnySource:
+		l = m.byTag[tag]
+	default:
+		l = m.bySrc[src]
+	}
+	if l != nil {
+		m.trimStale(l)
+		if !l.empty() {
+			e := l.front()
+			l.pop()
+			return m.keyed[e.key].pop(), true
+		}
+	}
+	return envelope{}, false
+}
+
 // wake unblocks all waiters so they can observe an abort.
 func (m *mailbox) wake() { m.cond.Broadcast() }
 

@@ -27,6 +27,11 @@ const (
 	// OpShutdown retires one client from a Serve loop; the server exits
 	// once every client has sent it.
 	OpShutdown
+	// OpReadIntent ships one client's read-intent vector for a collective
+	// read epoch (Data holds fixed-width off/len run pairs; see
+	// internal/delegate). Appended after OpShutdown so existing wire
+	// values stay stable.
+	OpReadIntent
 )
 
 func (op RPCOp) String() string {
@@ -43,6 +48,8 @@ func (op RPCOp) String() string {
 		return "close"
 	case OpShutdown:
 		return "shutdown"
+	case OpReadIntent:
+		return "read-intent"
 	}
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
@@ -60,20 +67,36 @@ type RPCRequest struct {
 	Data   []byte
 }
 
-// RPCReply is one server->client message.
+// RPCReply is one server->client message. Code classifies a failure so
+// the sender's typed error survives the string flattening across the wire
+// (a reply string cannot be errors.Is-matched; the code can).
 type RPCReply struct {
 	OK   bool
+	Code RPCErrCode
 	Err  string
 	Seq  int64
 	Data []byte
 }
+
+// RPCErrCode is the wire classification of a failed reply.
+type RPCErrCode uint8
+
+const (
+	// RPCErrNone is the zero code: no classification (or no error).
+	RPCErrNone RPCErrCode = iota
+	// RPCErrGeneric marks a failure with no finer class.
+	RPCErrGeneric
+	// RPCErrExhausted marks a request that ran out of retry budget
+	// (faults.ErrExhaustedRetries on the serving side).
+	RPCErrExhausted
+)
 
 // Wire sizes billed for the fixed portions of each message. Headers ride
 // at metadata scale (like two-phase exchange descriptors — see send): a
 // scaled run's worth of requests still ships one header each.
 const (
 	rpcReqHeaderWire = 1 + 4 + 8 + 8 + 8 + 4 // op, handle, seq, off, len, datalen
-	rpcRepHeaderWire = 1 + 8 + 2 + 4         // ok, seq, errlen, datalen
+	rpcRepHeaderWire = 1 + 1 + 8 + 2 + 4     // ok, code, seq, errlen, datalen
 	rpcMaxErr        = 1<<16 - 1
 )
 
@@ -124,9 +147,10 @@ func encodeReply(r *RPCReply) []byte {
 	if r.OK {
 		buf[0] = 1
 	}
-	binary.LittleEndian.PutUint64(buf[1:], uint64(r.Seq))
-	binary.LittleEndian.PutUint16(buf[9:], uint16(len(errStr)))
-	binary.LittleEndian.PutUint32(buf[11:], uint32(len(r.Data)))
+	buf[1] = byte(r.Code)
+	binary.LittleEndian.PutUint64(buf[2:], uint64(r.Seq))
+	binary.LittleEndian.PutUint16(buf[10:], uint16(len(errStr)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(r.Data)))
 	copy(buf[rpcRepHeaderWire:], errStr)
 	copy(buf[rpcRepHeaderWire+len(errStr):], r.Data)
 	return buf
@@ -137,11 +161,12 @@ func decodeReply(buf []byte) (*RPCReply, error) {
 		return nil, fmt.Errorf("mpi: rpc reply truncated at %d bytes", len(buf))
 	}
 	r := &RPCReply{
-		OK:  buf[0] != 0,
-		Seq: int64(binary.LittleEndian.Uint64(buf[1:])),
+		OK:   buf[0] != 0,
+		Code: RPCErrCode(buf[1]),
+		Seq:  int64(binary.LittleEndian.Uint64(buf[2:])),
 	}
-	errLen := int(binary.LittleEndian.Uint16(buf[9:]))
-	dataLen := int(binary.LittleEndian.Uint32(buf[11:]))
+	errLen := int(binary.LittleEndian.Uint16(buf[10:]))
+	dataLen := int(binary.LittleEndian.Uint32(buf[12:]))
 	if rpcRepHeaderWire+errLen+dataLen != len(buf) {
 		return nil, fmt.Errorf("mpi: rpc reply %d bytes, header says %d+%d",
 			len(buf)-rpcRepHeaderWire, errLen, dataLen)
@@ -176,6 +201,27 @@ func (c *Comm) RecvRequest(src, tag int) (*RPCRequest, error) {
 	}
 	req.Client = e.src
 	return req, nil
+}
+
+// TryRecvRequest is RecvRequest without blocking: it returns the next
+// matching request if one is already buffered, or ok == false immediately.
+// A scheduler loop uses it to drain queued work whenever no new request
+// has arrived, without ever parking while the queue is non-empty.
+func (c *Comm) TryRecvRequest(src, tag int) (*RPCRequest, bool, error) {
+	if err := c.abortedErr(); err != nil {
+		return nil, false, err
+	}
+	e, ok := c.w.ranks[c.rank].box.tryTake(src, tag)
+	if !ok {
+		return nil, false, nil
+	}
+	c.clock().AdvanceTo(e.arrival)
+	req, err := decodeRequest(e.data)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Client = e.src
+	return req, true, nil
 }
 
 // SendReply ships rep to rank dst on tag, billed like SendRequest.

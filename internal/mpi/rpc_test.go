@@ -18,6 +18,7 @@ func TestRPCCodecRoundTrip(t *testing.T) {
 		{Op: OpOpen, Handle: 0, Seq: 0},
 		{Op: OpWrite, Handle: 3, Seq: 41, Off: 1 << 30, Len: 5, Data: []byte("hello")},
 		{Op: OpRead, Handle: 1, Seq: -1, Off: 7, Len: 4096},
+		{Op: OpReadIntent, Handle: 2, Seq: 3, Data: []byte{0, 0, 0, 0, 0, 0, 0, 0, 16, 0, 0, 0, 0, 0, 0, 0}},
 		{Op: OpShutdown},
 	}
 	for _, in := range cases {
@@ -33,6 +34,8 @@ func TestRPCCodecRoundTrip(t *testing.T) {
 	reps := []RPCReply{
 		{OK: true, Seq: 9, Data: []byte{1, 2, 3}},
 		{OK: false, Err: "pfs: boom", Seq: 2},
+		{OK: false, Code: RPCErrExhausted, Err: "retries exhausted", Seq: 4},
+		{OK: false, Code: RPCErrGeneric, Err: "other", Seq: 5, Data: []byte{9}},
 		{},
 	}
 	for i, in := range reps {
@@ -40,7 +43,8 @@ func TestRPCCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("reply %d: %v", i, err)
 		}
-		if out.OK != in.OK || out.Err != in.Err || out.Seq != in.Seq || !bytes.Equal(out.Data, in.Data) {
+		if out.OK != in.OK || out.Code != in.Code || out.Err != in.Err ||
+			out.Seq != in.Seq || !bytes.Equal(out.Data, in.Data) {
 			t.Fatalf("reply %d round-trip: got %+v want %+v", i, out, in)
 		}
 	}
@@ -130,6 +134,49 @@ func TestRPCServe(t *testing.T) {
 		if seen[i] != want[i] {
 			t.Fatalf("request log mismatch at %d:\ngot  %q\nwant %q", i, seen[i], want[i])
 		}
+	}
+}
+
+// TestTryRecvRequest pins the non-blocking receive path a scheduling
+// server loop depends on: a miss returns immediately without consuming
+// anything, a hit matches FIFO order and fills Client from the envelope
+// source exactly like RecvRequest.
+func TestTryRecvRequest(t *testing.T) {
+	const tag = 88
+	_, err := Run(Config{Procs: 2, Machine: cluster.Lonestar()}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Nothing sent yet from rank 1's perspective until the barrier.
+			for s := 0; s < 3; s++ {
+				if err := c.SendRequest(1, tag, &RPCRequest{Op: OpWrite, Seq: int64(s)}); err != nil {
+					return err
+				}
+			}
+			return c.Barrier()
+		}
+		if req, ok, err := c.TryRecvRequest(AnySource, tag+1); err != nil || ok || req != nil {
+			return fmt.Errorf("empty tryTake: req=%v ok=%v err=%v", req, ok, err)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// All three requests are buffered now; TryRecvRequest must drain
+		// them in FIFO order and then report a miss.
+		for s := 0; s < 3; s++ {
+			req, ok, err := c.TryRecvRequest(AnySource, tag)
+			if err != nil {
+				return err
+			}
+			if !ok || req.Client != 0 || req.Seq != int64(s) {
+				return fmt.Errorf("drain %d: ok=%v req=%+v", s, ok, req)
+			}
+		}
+		if _, ok, err := c.TryRecvRequest(AnySource, tag); err != nil || ok {
+			return fmt.Errorf("drained mailbox: ok=%v err=%v", ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

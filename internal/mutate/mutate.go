@@ -60,6 +60,10 @@ const (
 	// the exact bug SegmentMemoryBudget's "spill, never drop" rule exists
 	// to prevent.
 	TCIOSpillDropDirty = "tcio.spill-drop-dirty"
+	// DelegateCacheStaleServe makes a delegation server's hot-block cache
+	// fill skip the file system read, caching (and serving) zeroed blocks
+	// — the stale-serve bug the cache's coherence rules exist to prevent.
+	DelegateCacheStaleServe = "delegate.cache-stale-serve"
 )
 
 // All lists every mutant the gate must catch.
@@ -78,5 +82,6 @@ func All() []string {
 		DelegateDropQueuedFlush,
 		WALSkipCommitMarker,
 		TCIOSpillDropDirty,
+		DelegateCacheStaleServe,
 	}
 }

@@ -33,6 +33,9 @@ const (
 	KindCombine  Kind = "combine"  // node leader merged co-located ranks' runs into one put
 	KindSieve    Kind = "sieve"    // covering read of a data-sieving group
 	KindJournal  Kind = "journal"  // epoch record batch appended to the WAL tier
+	// KindCacheServe marks a delegation-server read served from the
+	// hot-block cache instead of the file system.
+	KindCacheServe Kind = "cache-serve"
 )
 
 // Event is one recorded operation.
